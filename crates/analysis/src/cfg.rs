@@ -1,0 +1,135 @@
+//! Control-flow graph utilities: successor/predecessor maps and orderings.
+
+use tinyir::{BlockId, Function};
+
+/// Predecessor/successor maps and traversal orders for one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successors of each block (index = block id).
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors of each block (index = block id).
+    pub preds: Vec<Vec<BlockId>>,
+    /// Reverse postorder over reachable blocks, starting at entry.
+    pub rpo: Vec<BlockId>,
+    /// `true` for blocks reachable from the entry.
+    pub reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Build the CFG of `f`.
+    pub fn new(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (bid, block) in f.block_iter() {
+            let Some(&last) = block.instrs.last() else { continue };
+            for s in f.instr(last).successors() {
+                succs[bid.0 as usize].push(s);
+                preds[s.0 as usize].push(bid);
+            }
+        }
+        // Postorder DFS from entry.
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+        visited[f.entry().0 as usize] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.0 as usize].len() {
+                let s = succs[b.0 as usize][*i];
+                *i += 1;
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        Cfg { succs, preds, rpo: post, reachable: visited }
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True when the function has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Position of each block in the reverse postorder (`usize::MAX` for
+    /// unreachable blocks).
+    pub fn rpo_index(&self) -> Vec<usize> {
+        let mut idx = vec![usize::MAX; self.len()];
+        for (i, b) in self.rpo.iter().enumerate() {
+            idx[b.0 as usize] = i;
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyir::builder::ModuleBuilder;
+    use tinyir::{Ty, Value};
+
+    fn diamond() -> tinyir::Module {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define("d", vec![Ty::I64], Some(Ty::I64), |fb| {
+            let out = fb.alloca(Ty::I64, 1);
+            let c = fb.icmp(tinyir::ICmp::Slt, fb.arg(0), Value::i64(0));
+            fb.if_then_else(
+                c,
+                |fb| fb.store(Value::i64(-1), out),
+                |fb| fb.store(Value::i64(1), out),
+            );
+            let r = fb.load(out, Ty::I64);
+            fb.ret(Some(r));
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let m = diamond();
+        let cfg = Cfg::new(&m.funcs[0]);
+        assert_eq!(cfg.len(), 4);
+        // Entry has two successors, join has two predecessors.
+        assert_eq!(cfg.succs[0].len(), 2);
+        assert_eq!(cfg.preds[3].len(), 2);
+        // RPO starts at the entry and covers all 4 blocks.
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert_eq!(cfg.rpo.len(), 4);
+        assert!(cfg.reachable.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn rpo_respects_topological_order_for_dags() {
+        let m = diamond();
+        let cfg = Cfg::new(&m.funcs[0]);
+        let idx = cfg.rpo_index();
+        // Entry before branches, branches before join.
+        assert!(idx[0] < idx[1] && idx[0] < idx[2]);
+        assert!(idx[1] < idx[3] && idx[2] < idx[3]);
+    }
+
+    #[test]
+    fn unreachable_blocks_flagged() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define("u", vec![], None, |fb| {
+            fb.ret(None);
+            let dead = fb.new_block("dead");
+            fb.switch_to(dead);
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let cfg = Cfg::new(&m.funcs[0]);
+        assert!(cfg.reachable[0]);
+        assert!(!cfg.reachable[1]);
+        assert_eq!(cfg.rpo.len(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+use crate::cfg::Cfg;
+use tinyir::BlockId;
+
+/// Immediate-dominator tree for one function's CFG.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` = immediate dominator of block `b` (`None` for the entry
+    /// and for unreachable blocks).
+    pub idom: Vec<Option<BlockId>>,
+    /// Depth of each block in the dominator tree (entry = 0).
+    pub depth: Vec<u32>,
+}
+
+impl DomTree {
+    /// Compute the dominator tree over `cfg`.
+    pub fn new(cfg: &Cfg) -> DomTree {
+        let n = cfg.len();
+        let rpo_idx = cfg.rpo_index();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return DomTree { idom, depth: vec![] };
+        }
+        let entry = cfg.rpo[0];
+        idom[entry.0 as usize] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_idx[a.0 as usize] > rpo_idx[b.0 as usize] {
+                    a = idom[a.0 as usize].expect("processed");
+                }
+                while rpo_idx[b.0 as usize] > rpo_idx[a.0 as usize] {
+                    b = idom[b.0 as usize].expect("processed");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.0 as usize] {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Entry's self-idom becomes None for the public API.
+        idom[entry.0 as usize] = None;
+
+        let mut depth = vec![0u32; n];
+        for &b in &cfg.rpo {
+            if let Some(d) = idom[b.0 as usize] {
+                depth[b.0 as usize] = depth[d.0 as usize] + 1;
+            }
+        }
+        DomTree { idom, depth }
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyir::builder::ModuleBuilder;
+    use tinyir::{Ty, Value};
+
+    #[test]
+    fn diamond_dominators() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define("d", vec![Ty::I64], Some(Ty::I64), |fb| {
+            let out = fb.alloca(Ty::I64, 1);
+            let c = fb.icmp(tinyir::ICmp::Slt, fb.arg(0), Value::i64(0));
+            fb.if_then_else(
+                c,
+                |fb| fb.store(Value::i64(-1), out),
+                |fb| fb.store(Value::i64(1), out),
+            );
+            let r = fb.load(out, Ty::I64);
+            fb.ret(Some(r));
+        });
+        let m = mb.finish();
+        let cfg = Cfg::new(&m.funcs[0]);
+        let dt = DomTree::new(&cfg);
+        let (e, t, f, j) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(dt.idom[t.0 as usize], Some(e));
+        assert_eq!(dt.idom[f.0 as usize], Some(e));
+        // Join is dominated by entry, not by either branch arm.
+        assert_eq!(dt.idom[j.0 as usize], Some(e));
+        assert!(dt.dominates(e, j));
+        assert!(!dt.dominates(t, j));
+        assert!(dt.dominates(j, j));
+        assert_eq!(dt.depth[e.0 as usize], 0);
+        assert_eq!(dt.depth[j.0 as usize], 1);
+    }
+
+    #[test]
+    fn loop_dominators() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define("l", vec![Ty::I64], None, |fb| {
+            fb.for_loop(Value::i64(0), fb.arg(0), |_, _| {});
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let cfg = Cfg::new(&m.funcs[0]);
+        let dt = DomTree::new(&cfg);
+        // Blocks: 0=pre, 1=header, 2=body, 3=exit.
+        assert_eq!(dt.idom[1], Some(BlockId(0)));
+        assert_eq!(dt.idom[2], Some(BlockId(1)));
+        assert_eq!(dt.idom[3], Some(BlockId(1)));
+        assert!(dt.dominates(BlockId(1), BlockId(2)));
+        assert!(!dt.dominates(BlockId(2), BlockId(3)));
+    }
+}

@@ -1,0 +1,21 @@
+//! # analysis — dataflow analyses over TinyIR
+//!
+//! Provides the control-flow graph ([`cfg::Cfg`]), dominator tree
+//! ([`dom::DomTree`]), per-instruction liveness ([`liveness::Liveness`]) and
+//! use–def chains ([`usedef::UseDef`]) that the optimiser (`opt`), backend
+//! (`simx`) and the Armor recovery-kernel extractor (`armor`) are built on.
+//!
+//! Liveness is the paper's centrepiece analysis: Armor's terminal-value rule
+//! admits a value as a recovery-kernel parameter only if it is live at the
+//! protected memory access *and* has a non-local use (paper §3.2), because
+//! those are the values guaranteed to survive lowering into machine code.
+
+pub mod cfg;
+pub mod dom;
+pub mod liveness;
+pub mod usedef;
+
+pub use cfg::Cfg;
+pub use dom::DomTree;
+pub use liveness::Liveness;
+pub use usedef::{address_computation_ops, UseDef};

@@ -1,0 +1,311 @@
+//! Per-instruction liveness of SSA values.
+//!
+//! Armor's terminal-value rule (paper §3.2) needs two queries:
+//!
+//! 1. **is `v` live at instruction `I`?** — a value may only become a
+//!    recovery-kernel parameter if it is still live (hence still present in
+//!    a register or stack slot) when the protected memory access executes;
+//! 2. **does `v` have a non-local use?** — the paper observes that a value
+//!    that is live *and used outside its defining basic block* will not be
+//!    folded away by machine-dependent lowering, so it is guaranteed to be
+//!    addressable at recovery time.
+//!
+//! Both queries are answered from a standard backward dataflow followed by a
+//! per-instruction refinement within each block.
+
+use crate::cfg::Cfg;
+use std::collections::HashSet;
+use tinyir::{Function, InstrId, InstrKind, Value};
+
+/// Liveness facts for one function.
+///
+/// Function arguments are tracked alongside instruction-defined values via
+/// pseudo-ids: argument `a` is keyed as `InstrId(n_instrs + a)` (see
+/// [`Liveness::arg_key`]). Arguments are defined at function entry, so their
+/// live range starts at the entry block.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Number of real (arena) instructions; pseudo-ids start here.
+    n_instrs: u32,
+    /// `live_before[i]` = set of instruction-defined values live immediately
+    /// before instruction `i` executes (index = arena id).
+    live_before: Vec<HashSet<InstrId>>,
+    /// `live_after[i]` = set live immediately after `i`.
+    live_after: Vec<HashSet<InstrId>>,
+    /// Values used by at least one instruction outside their defining block.
+    nonlocal: Vec<bool>,
+}
+
+impl Liveness {
+    /// Compute liveness for `f` over its CFG.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Liveness {
+        let n_instr = f.instrs.len() + f.params.len();
+        let n_real = f.instrs.len() as u32;
+        let key_of = |v: &Value| -> Option<InstrId> {
+            match v {
+                Value::Instr(d) => Some(*d),
+                Value::Arg(a) => Some(InstrId(n_real + a)),
+                _ => None,
+            }
+        };
+        let n_block = f.blocks.len();
+        let owner = f.instr_blocks();
+        // Arguments are "defined" in the entry block.
+        let arg_owner = tinyir::BlockId(0);
+        let owner_of = |id: InstrId| -> tinyir::BlockId {
+            if id.0 < n_real {
+                owner[id.0 as usize]
+            } else {
+                arg_owner
+            }
+        };
+
+        // use[b], def[b] block summaries. Phi uses count as uses at the end
+        // of the corresponding predecessor (standard SSA treatment).
+        let mut use_b: Vec<HashSet<InstrId>> = vec![HashSet::new(); n_block];
+        let mut def_b: Vec<HashSet<InstrId>> = vec![HashSet::new(); n_block];
+        // Extra live-out contributions from phi uses in successors.
+        let mut phi_out: Vec<HashSet<InstrId>> = vec![HashSet::new(); n_block];
+        let mut nonlocal = vec![false; n_instr];
+
+        for (bid, block) in f.block_iter() {
+            let b = bid.0 as usize;
+            for &iid in &block.instrs {
+                let instr = f.instr(iid);
+                match &instr.kind {
+                    InstrKind::Phi { incomings, .. } => {
+                        for (inb, v) in incomings {
+                            if let Some(d) = key_of(v) {
+                                phi_out[inb.0 as usize].insert(d);
+                                nonlocal[d.0 as usize] = true;
+                            }
+                        }
+                    }
+                    _ => {
+                        for v in instr.operands() {
+                            if let Some(d) = key_of(&v) {
+                                if !def_b[b].contains(&d) {
+                                    use_b[b].insert(d);
+                                }
+                                if owner_of(d) != bid {
+                                    nonlocal[d.0 as usize] = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                if instr.result_ty().is_some() {
+                    def_b[b].insert(iid);
+                }
+            }
+        }
+
+        // Backward dataflow to fixpoint on block live-in/out.
+        let mut live_in: Vec<HashSet<InstrId>> = vec![HashSet::new(); n_block];
+        let mut live_out: Vec<HashSet<InstrId>> = vec![HashSet::new(); n_block];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Iterate blocks in reverse RPO for fast convergence.
+            for &bid in cfg.rpo.iter().rev() {
+                let b = bid.0 as usize;
+                let mut out: HashSet<InstrId> = phi_out[b].clone();
+                for s in &cfg.succs[b] {
+                    for v in &live_in[s.0 as usize] {
+                        out.insert(*v);
+                    }
+                }
+                let mut inn: HashSet<InstrId> = use_b[b].clone();
+                for v in &out {
+                    if !def_b[b].contains(v) {
+                        inn.insert(*v);
+                    }
+                }
+                if out != live_out[b] || inn != live_in[b] {
+                    live_out[b] = out;
+                    live_in[b] = inn;
+                    changed = true;
+                }
+            }
+        }
+
+        // Per-instruction refinement: walk each block backward.
+        let mut live_before: Vec<HashSet<InstrId>> = vec![HashSet::new(); n_instr];
+        let mut live_after: Vec<HashSet<InstrId>> = vec![HashSet::new(); n_instr];
+        for (bid, block) in f.block_iter() {
+            let b = bid.0 as usize;
+            let mut live = live_out[b].clone();
+            for &iid in block.instrs.iter().rev() {
+                live_after[iid.0 as usize] = live.clone();
+                let instr = f.instr(iid);
+                if instr.result_ty().is_some() {
+                    live.remove(&iid);
+                }
+                if !matches!(instr.kind, InstrKind::Phi { .. }) {
+                    for v in instr.operands() {
+                        if let Some(d) = key_of(&v) {
+                            live.insert(d);
+                        }
+                    }
+                }
+                live_before[iid.0 as usize] = live.clone();
+            }
+        }
+
+        Liveness { n_instrs: n_real, live_before, live_after, nonlocal }
+    }
+
+    /// The pseudo-id under which argument `a` is tracked.
+    pub fn arg_key(&self, a: u32) -> InstrId {
+        InstrId(self.n_instrs + a)
+    }
+
+    /// Liveness key for any trackable value (`None` for constants/globals).
+    pub fn key_of(&self, v: Value) -> Option<InstrId> {
+        match v {
+            Value::Instr(d) => Some(d),
+            Value::Arg(a) => Some(InstrId(self.n_instrs + a)),
+            _ => None,
+        }
+    }
+
+    /// Is `v` (instruction result or argument) live immediately before `at`?
+    /// Arguments with no remaining uses are dead like any other value.
+    pub fn value_live_at(&self, v: Value, at: InstrId) -> bool {
+        match self.key_of(v) {
+            Some(k) => self.live_before[at.0 as usize].contains(&k),
+            None => false,
+        }
+    }
+
+    /// Non-local-use check for any trackable value.
+    pub fn value_has_nonlocal_use(&self, v: Value) -> bool {
+        self.key_of(v)
+            .map(|k| self.nonlocal[k.0 as usize])
+            .unwrap_or(false)
+    }
+
+    /// Is instruction-defined value `v` live immediately **before** `at`
+    /// executes? (This is the paper's "live at I" predicate: the input
+    /// values of a recovery kernel must satisfy it.)
+    pub fn live_at(&self, v: InstrId, at: InstrId) -> bool {
+        self.live_before[at.0 as usize].contains(&v)
+    }
+
+    /// Is `v` live immediately after `at`?
+    pub fn live_after_instr(&self, v: InstrId, at: InstrId) -> bool {
+        self.live_after[at.0 as usize].contains(&v)
+    }
+
+    /// Does `v` have at least one use outside its defining block? Values
+    /// with only block-local uses may be folded by instruction selection and
+    /// are therefore not safe recovery-kernel parameters (paper §3.2).
+    pub fn has_nonlocal_use(&self, v: InstrId) -> bool {
+        self.nonlocal[v.0 as usize]
+    }
+
+    /// The set of values live before `at` (borrowed).
+    pub fn live_before_set(&self, at: InstrId) -> &HashSet<InstrId> {
+        &self.live_before[at.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyir::builder::ModuleBuilder;
+    use tinyir::{Ty, Value};
+
+    /// Build: x = a+b; y = x*2; store y; z = a-b; store z.
+    /// At the first store, `x` is dead (already consumed), `a`/`b` inputs
+    /// are args (not tracked), and `y` is live.
+    #[test]
+    fn straight_line_liveness() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define("f", vec![Ty::I64, Ty::I64, Ty::Ptr], None, |fb| {
+            let x = fb.add(fb.arg(0), fb.arg(1), Ty::I64); // v0
+            let y = fb.mul(x, Value::i64(2), Ty::I64); // v1
+            fb.store_elem(y, fb.arg(2), Value::i64(0), Ty::I64); // v2 gep, v3 store
+            let z = fb.sub(fb.arg(0), fb.arg(1), Ty::I64); // v4
+            fb.store_elem(z, fb.arg(2), Value::i64(1), Ty::I64); // v5 gep, v6 store
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let f = &m.funcs[0];
+        let cfg = Cfg::new(f);
+        let lv = Liveness::compute(f, &cfg);
+        let (x, y, store1) = (InstrId(0), InstrId(1), InstrId(3));
+        assert!(!lv.live_at(x, store1), "x consumed by y already");
+        assert!(lv.live_at(y, store1), "y is the stored value");
+        assert!(!lv.live_after_instr(y, store1), "y dead after its only use");
+    }
+
+    #[test]
+    fn loop_carried_values_live_across_backedge() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define("f", vec![Ty::Ptr, Ty::I64], None, |fb| {
+            // Loop-invariant value computed in the preheader.
+            let stride = fb.mul(fb.arg(1), Value::i64(8), Ty::I64); // v0
+            fb.for_loop(Value::i64(0), fb.arg(1), |fb, iv| {
+                let off = fb.mul(iv, stride, Ty::I64);
+                fb.store_elem(Value::f64(1.0), fb.arg(0), off, Ty::F64);
+            });
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let f = &m.funcs[0];
+        let cfg = Cfg::new(f);
+        let lv = Liveness::compute(f, &cfg);
+        let stride = InstrId(0);
+        // The store inside the loop body:
+        let store = f
+            .mem_access_instrs()
+            .into_iter()
+            .find(|&i| matches!(f.instr(i).kind, tinyir::InstrKind::Store { .. }))
+            .unwrap();
+        assert!(lv.live_at(stride, store), "loop-invariant stride live in body");
+        assert!(lv.has_nonlocal_use(stride), "stride used outside its block");
+    }
+
+    #[test]
+    fn local_only_values_are_not_nonlocal() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define("f", vec![Ty::I64], Some(Ty::I64), |fb| {
+            let t = fb.add(fb.arg(0), Value::i64(1), Ty::I64); // v0: local use only
+            let u = fb.mul(t, Value::i64(3), Ty::I64);
+            fb.ret(Some(u));
+        });
+        let m = mb.finish();
+        let f = &m.funcs[0];
+        let cfg = Cfg::new(f);
+        let lv = Liveness::compute(f, &cfg);
+        assert!(!lv.has_nonlocal_use(InstrId(0)));
+    }
+
+    #[test]
+    fn phi_incomings_extend_liveness_to_pred_end() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define("f", vec![Ty::I64], Some(Ty::I64), |fb| {
+            // The loop phi uses its start value from the preheader; the
+            // value feeding the phi must be live out of the preheader.
+            let init = fb.mul(fb.arg(0), Value::i64(7), Ty::I64); // v0
+            let acc = fb.alloca(Ty::I64, 1);
+            fb.store(init, acc);
+            fb.for_loop(init, fb.arg(0), |fb, iv| {
+                let a = fb.load(acc, Ty::I64);
+                let s = fb.add(a, iv, Ty::I64);
+                fb.store(s, acc);
+            });
+            let r = fb.load(acc, Ty::I64);
+            fb.ret(Some(r));
+        });
+        let m = mb.finish();
+        let f = &m.funcs[0];
+        let cfg = Cfg::new(f);
+        let lv = Liveness::compute(f, &cfg);
+        // init (v0) feeds the phi: it must be live at the preheader store.
+        let store = f.mem_access_instrs()[0];
+        assert!(lv.live_at(InstrId(0), store));
+        assert!(lv.has_nonlocal_use(InstrId(0)));
+    }
+}

@@ -1,0 +1,164 @@
+//! Use–def chains: for each value, who uses it.
+
+use tinyir::{Function, InstrId, InstrKind, Value};
+
+/// Users of every instruction-defined value and of every argument.
+#[derive(Debug, Clone)]
+pub struct UseDef {
+    /// `users[i]` = instructions that use `%vi` as an operand.
+    pub users: Vec<Vec<InstrId>>,
+    /// `arg_users[a]` = instructions that use argument `a`.
+    pub arg_users: Vec<Vec<InstrId>>,
+}
+
+impl UseDef {
+    /// Compute use–def chains for `f`.
+    pub fn compute(f: &Function) -> UseDef {
+        let mut users = vec![Vec::new(); f.instrs.len()];
+        let mut arg_users = vec![Vec::new(); f.params.len()];
+        for (_, block) in f.block_iter() {
+            for &iid in &block.instrs {
+                for v in f.instr(iid).operands() {
+                    match v {
+                        Value::Instr(d) => users[d.0 as usize].push(iid),
+                        Value::Arg(a) => arg_users[a as usize].push(iid),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        UseDef { users, arg_users }
+    }
+
+    /// Number of uses of `%v`.
+    pub fn use_count(&self, v: InstrId) -> usize {
+        self.users[v.0 as usize].len()
+    }
+
+    /// The single user of `%v` if it has exactly one (the precondition for
+    /// CISC folding a load into its consumer during instruction selection).
+    pub fn single_user(&self, v: InstrId) -> Option<InstrId> {
+        match self.users[v.0 as usize].as_slice() {
+            [u] => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// True if `%v` has no uses (dead unless it has side effects).
+    pub fn is_unused(&self, v: InstrId) -> bool {
+        self.users[v.0 as usize].is_empty()
+    }
+}
+
+/// Count the binary/cast/gep/call-math operations feeding an address operand
+/// — the paper's Table 5 statistic ("number of operations involved in
+/// address calculations").
+pub fn address_computation_ops(f: &Function, mem_access: InstrId) -> usize {
+    let Some(addr) = f.instr(mem_access).addr_operand() else {
+        return 0;
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![addr];
+    let mut count = 0usize;
+    while let Some(v) = stack.pop() {
+        let Value::Instr(id) = v else { continue };
+        if !seen.insert(id) {
+            continue;
+        }
+        match &f.instr(id).kind {
+            InstrKind::Bin { lhs, rhs, .. } => {
+                count += 1;
+                stack.push(*lhs);
+                stack.push(*rhs);
+            }
+            InstrKind::Gep { base, index, .. } => {
+                // A scaled gep lowers to an addition plus a multiplication
+                // (`base + index*size`), which is how the paper's LLVM-level
+                // count sees it; an unscaled (constant-index) gep is a
+                // single addition.
+                count += if index.is_const() { 1 } else { 2 };
+                stack.push(*base);
+                stack.push(*index);
+            }
+            InstrKind::Cast { val, .. } => {
+                stack.push(*val);
+            }
+            InstrKind::Load { .. } | InstrKind::Phi { .. } | InstrKind::Alloca { .. } => {}
+            InstrKind::Call { args, .. } => {
+                count += 1;
+                for a in args {
+                    stack.push(*a);
+                }
+            }
+            InstrKind::Select { cond, t, f: fv, .. } => {
+                count += 1;
+                stack.push(*cond);
+                stack.push(*t);
+                stack.push(*fv);
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyir::builder::ModuleBuilder;
+    use tinyir::{Ty, Value};
+
+    #[test]
+    fn counts_and_single_user() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define("f", vec![Ty::I64], Some(Ty::I64), |fb| {
+            let a = fb.add(fb.arg(0), Value::i64(1), Ty::I64); // v0: 2 uses
+            let b = fb.mul(a, a, Ty::I64); // v1: 1 use
+            fb.ret(Some(b));
+        });
+        let m = mb.finish();
+        let ud = UseDef::compute(&m.funcs[0]);
+        assert_eq!(ud.use_count(InstrId(0)), 2);
+        assert_eq!(ud.single_user(InstrId(1)), Some(InstrId(2)));
+        assert_eq!(ud.single_user(InstrId(0)), None);
+        assert_eq!(ud.arg_users[0].len(), 1);
+    }
+
+    #[test]
+    fn address_op_counting_matches_stencil_shape() {
+        // Reproduce the paper's Figure 2 address shape:
+        // phitmp[(mzeta+1)*(igrid[i]-igrid_in)+k]
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define(
+            "stencil",
+            vec![Ty::Ptr, Ty::Ptr, Ty::I64, Ty::I64, Ty::I64, Ty::I64],
+            Some(Ty::F64),
+            |fb| {
+                let (phitmp, igrid, mzeta, igrid_in, i, k) = (
+                    fb.arg(0),
+                    fb.arg(1),
+                    fb.arg(2),
+                    fb.arg(3),
+                    fb.arg(4),
+                    fb.arg(5),
+                );
+                let gi = fb.load_elem(igrid, i, Ty::I64); // gep + load
+                let m1 = fb.add(mzeta, Value::i64(1), Ty::I64);
+                let d = fb.sub(gi, igrid_in, Ty::I64);
+                let p = fb.mul(m1, d, Ty::I64);
+                let idx = fb.add(p, k, Ty::I64);
+                let v = fb.load_elem(phitmp, idx, Ty::F64); // gep + load
+                fb.ret(Some(v));
+            },
+        );
+        let m = mb.finish();
+        let f = &m.funcs[0];
+        let loads = f.mem_access_instrs();
+        let final_load = *loads.last().unwrap();
+        // gep(phitmp)=2 + add + mul + sub + m1-add = 6 ops (the inner gep
+        // for igrid terminates at the load).
+        assert_eq!(address_computation_ops(f, final_load), 6);
+        // The igrid[i] load's own address: its scaled gep (add + mul).
+        assert_eq!(address_computation_ops(f, loads[0]), 2);
+    }
+}

@@ -1,0 +1,736 @@
+//! Armor — the compiler pass that builds recovery kernels.
+//!
+//! For every memory-access instruction, Armor walks backward from the
+//! address operand, cloning the address computation into a standalone
+//! *recovery kernel* function. Extraction stops at the paper's terminal
+//! cases (§3.2): `AllocaInst`, `GlobalVariable`, `Argument`, `PHINode`,
+//! complex calls, and *Terminal Values* — instructions with a dead,
+//! non-recomputable operand. A value qualifies as a kernel **parameter**
+//! only when it is live at the protected instruction *and* has a non-local
+//! use, which is what guarantees the backend keeps it addressable (in a
+//! register or stack slot) at recovery time.
+//!
+//! This module is a faithful implementation of the paper's Figure 5
+//! pseudo-code over TinyIR.
+
+use crate::table::{ParamSpec, RecoveryKey, RecoveryTable, TableEntry};
+use analysis::{address_computation_ops, Cfg, Liveness};
+use simx::DieRequest;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+use tinyir::{
+    Callee, Function, FuncId, Global, GlobalInit, Instr, InstrId, InstrKind, Module, Ty, Value,
+};
+
+/// Aggregate statistics (feeds Tables 5 and 8).
+#[derive(Clone, Debug, Default)]
+pub struct ArmorStats {
+    /// Recovery kernels built.
+    pub num_kernels: usize,
+    /// Total IR instructions across all kernels (excluding the final `ret`).
+    pub total_kernel_instrs: usize,
+    /// Memory accesses for which no kernel was built because a required
+    /// parameter was unavailable (dead and not recomputable).
+    pub infeasible: usize,
+    /// Memory accesses skipped because they dereference an alloca or global
+    /// directly (no address computation to protect).
+    pub direct_accesses: usize,
+    /// Total memory-access instructions inspected.
+    pub mem_accesses: usize,
+    /// Accesses whose address computation involves ≥ 2 operations (Table 5).
+    pub multi_op_accesses: usize,
+    /// Total address-computation operations (Table 5 average numerator).
+    pub total_addr_ops: usize,
+    /// Wall-clock seconds spent in the pass (Table 8 "Armor overhead").
+    pub pass_seconds: f64,
+    /// Seconds of the pass spent in liveness analysis (the paper reports
+    /// > 90 % of the overhead there).
+    pub liveness_seconds: f64,
+}
+
+impl ArmorStats {
+    /// Average kernel size in IR instructions.
+    pub fn avg_kernel_instrs(&self) -> f64 {
+        if self.num_kernels == 0 {
+            0.0
+        } else {
+            self.total_kernel_instrs as f64 / self.num_kernels as f64
+        }
+    }
+
+    /// Table 5 row: fraction of accesses with multi-op address computations.
+    pub fn multi_op_fraction(&self) -> f64 {
+        if self.mem_accesses == 0 {
+            0.0
+        } else {
+            self.multi_op_accesses as f64 / self.mem_accesses as f64
+        }
+    }
+
+    /// Table 5 row: average operations per memory access.
+    pub fn avg_addr_ops(&self) -> f64 {
+        if self.mem_accesses == 0 {
+            0.0
+        } else {
+            self.total_addr_ops as f64 / self.mem_accesses as f64
+        }
+    }
+}
+
+/// Everything Armor produces for one application module.
+#[derive(Clone, Debug)]
+pub struct ArmorOutput {
+    /// The recovery-kernel library source (compiled separately, loaded
+    /// lazily by Safeguard — the paper's standalone `.so`).
+    pub kernel_module: Module,
+    /// The recovery table.
+    pub table: RecoveryTable,
+    /// Variable-description requests for the backend's DIE emission.
+    pub die_requests: Vec<DieRequest>,
+    /// Pass statistics.
+    pub stats: ArmorStats,
+}
+
+/// Tunable Armor behaviour (the defaults reproduce the paper; the
+/// alternatives exist for the ablation studies in `bench`).
+#[derive(Clone, Copy, Debug)]
+pub struct ArmorConfig {
+    /// Enforce the terminal-value rule: ordinary-instruction parameters
+    /// must be live at the access and have a non-local use (paper §3.2).
+    /// Disabling it emits kernels whose parameters may be unavailable at
+    /// runtime — the ablation shows coverage *drops* without the rule.
+    pub strict_liveness: bool,
+}
+
+impl Default for ArmorConfig {
+    fn default() -> ArmorConfig {
+        ArmorConfig { strict_liveness: true }
+    }
+}
+
+/// Run Armor over `app` with the paper's default configuration.
+pub fn run_armor(app: &Module) -> ArmorOutput {
+    run_armor_with(app, ArmorConfig::default())
+}
+
+/// Run Armor with explicit configuration.
+pub fn run_armor_with(app: &Module, config: ArmorConfig) -> ArmorOutput {
+    let t0 = Instant::now();
+    let mut kernel_module = Module::new(format!("librecovery_{}", app.name));
+    for file in &app.files {
+        kernel_module.intern_file(file);
+    }
+    // Mirror the application's globals (same ids/names) so cloned
+    // `Value::Global` references resolve; the kernels execute against the
+    // *application's* global addresses, so initialisers are not duplicated.
+    for g in &app.globals {
+        kernel_module.add_global(Global {
+            name: g.name.clone(),
+            elem_ty: g.elem_ty,
+            count: 0,
+            init: GlobalInit::Zero,
+        });
+    }
+
+    let mut table = RecoveryTable::new();
+    let mut die_requests = Vec::new();
+    let mut stats = ArmorStats::default();
+    let mut liveness_time = 0.0f64;
+
+    for (fi, f) in app.funcs.iter().enumerate() {
+        if f.is_decl {
+            continue;
+        }
+        let fid = FuncId(fi as u32);
+        let cfg = Cfg::new(f);
+        let lt = Instant::now();
+        let lv = Liveness::compute(f, &cfg);
+        liveness_time += lt.elapsed().as_secs_f64();
+
+        for access in f.mem_access_instrs() {
+            stats.mem_accesses += 1;
+            let ops = address_computation_ops(f, access);
+            stats.total_addr_ops += ops;
+            if ops >= 2 {
+                stats.multi_op_accesses += 1;
+            }
+            let addr = f.instr(access).addr_operand().expect("memory access");
+            // Direct alloca/global dereferences carry no computation.
+            if matches!(addr, Value::Global(_))
+                || addr
+                    .as_instr()
+                    .map(|id| matches!(f.instr(id).kind, InstrKind::Alloca { .. }))
+                    .unwrap_or(false)
+                || addr.is_const()
+            {
+                stats.direct_accesses += 1;
+                continue;
+            }
+            let Some(loc) = f.instr(access).loc else {
+                stats.infeasible += 1;
+                continue;
+            };
+            let key = RecoveryKey::for_loc(app, loc);
+            if table.lookup(&key).is_some() {
+                // Debug-tuple collision: first kernel wins (the paper
+                // resolves collisions at generation time; our builder makes
+                // them impossible, so this is defensive).
+                continue;
+            }
+
+            match extract_kernel(app, f, &lv, access, addr, config) {
+                Some(ext) => {
+                    let kidx = kernel_module.funcs.len();
+                    let symbol = format!("care_recovery_k{}_{}", kidx, key.hex());
+                    let (kernel_fn, param_specs, reqs) = build_kernel(
+                        app,
+                        f,
+                        fid,
+                        &symbol,
+                        kidx,
+                        &ext,
+                    );
+                    stats.total_kernel_instrs += ext.stmts.len();
+                    stats.num_kernels += 1;
+                    let kfid = kernel_module.add_func(kernel_fn);
+                    table.insert(
+                        key,
+                        TableEntry { symbol, kernel: kfid, params: param_specs },
+                    );
+                    die_requests.extend(reqs);
+                }
+                None => stats.infeasible += 1,
+            }
+        }
+    }
+
+    stats.pass_seconds = t0.elapsed().as_secs_f64();
+    stats.liveness_seconds = liveness_time;
+    ArmorOutput { kernel_module, table, die_requests, stats }
+}
+
+/// The backward slice of one address computation.
+struct Extraction {
+    /// Cloned statements, in original program order.
+    stmts: Vec<InstrId>,
+    /// Kernel parameters, in discovery order.
+    params: Vec<Value>,
+    /// The address operand (to be returned by the kernel).
+    addr: Value,
+}
+
+/// Is `v` a value Safeguard can *fetch* at recovery time?
+///
+/// The paper's stop cases (1)–(5) — allocas, globals, arguments, phis and
+/// complex calls — are presumed addressable: the ABI parks arguments in
+/// well-known locations, phis/allocas are materialised storage, and globals
+/// are constant pointers. Ordinary instructions are *Terminal Values* (case
+/// 6) and must satisfy the live-at-`I` + non-local-use rule, which is what
+/// guarantees machine-dependent lowering keeps them around (§3.2). Runtime
+/// DIE location ranges catch the residual cases where a presumed-available
+/// value's register has been reused.
+/// Values folded into the access's machine address mode: the `gep` feeding
+/// the access plus its operands. x86 lowering folds the address computation
+/// into the access itself (`disp(base,index,scale)`), so these values are
+/// register operands *of the faulting instruction* and thus live at the
+/// fault — even when IR-level liveness says they die at the `gep` (the
+/// paper's Figure 4 store pattern).
+fn folded_address_values(f: &Function, access: InstrId) -> HashSet<Value> {
+    let mut set = HashSet::new();
+    if let Some(addr) = f.instr(access).addr_operand() {
+        set.insert(addr);
+        if let Value::Instr(g) = addr {
+            if let InstrKind::Gep { base, index, .. } = f.instr(g).kind {
+                set.insert(base);
+                set.insert(index);
+            }
+        }
+    }
+    set
+}
+
+fn fetchable(
+    f: &Function,
+    lv: &Liveness,
+    v: Value,
+    at: InstrId,
+    folded: &HashSet<Value>,
+    config: ArmorConfig,
+) -> bool {
+    if folded.contains(&v) {
+        return true;
+    }
+    if !config.strict_liveness {
+        // Ablation: trust every value to still be around. The backend's DIE
+        // ranges then decide at runtime — usually unfavourably.
+        return true;
+    }
+    match v {
+        Value::ConstInt(..) | Value::ConstFloat(..) | Value::ConstNull => true,
+        Value::Global(_) => true, // constant pointer via symbol table
+        Value::Arg(_) => true,    // incoming-argument slot/register
+        Value::Instr(id) => match &f.instr(id).kind {
+            InstrKind::Phi { .. } | InstrKind::Alloca { .. } => true,
+            InstrKind::Call { .. } => lv.value_live_at(v, at),
+            _ => lv.value_live_at(v, at) && lv.value_has_nonlocal_use(v),
+        },
+    }
+}
+
+/// The paper's `isExpandable(V, MemAccInst)` (Figure 5), memoised.
+fn is_expandable(
+    f: &Function,
+    lv: &Liveness,
+    memo: &mut HashMap<Value, bool>,
+    v: Value,
+    at: InstrId,
+    folded: &HashSet<Value>,
+    config: ArmorConfig,
+) -> bool {
+    if let Some(&r) = memo.get(&v) {
+        return r;
+    }
+    let result = expandable_uncached(f, lv, memo, v, at, folded, config);
+    memo.insert(v, result);
+    result
+}
+
+fn expandable_uncached(
+    f: &Function,
+    lv: &Liveness,
+    memo: &mut HashMap<Value, bool>,
+    v: Value,
+    at: InstrId,
+    folded: &HashSet<Value>,
+    config: ArmorConfig,
+) -> bool {
+    let id = match v {
+        // Constants are trivially recomputable; globals/arguments are
+        // start-points (parameters), never expanded.
+        Value::ConstInt(..) | Value::ConstFloat(..) | Value::ConstNull => return true,
+        Value::Global(_) | Value::Arg(_) => return false,
+        Value::Instr(id) => id,
+    };
+    match &f.instr(id).kind {
+        InstrKind::Alloca { .. } | InstrKind::Phi { .. } => false,
+        InstrKind::Call { callee, .. } => match callee {
+            // Simple math intrinsics behave like ordinary binary operators;
+            // anything else is a complex call that terminates extraction.
+            Callee::Intrinsic(i) if i.is_simple_math() => {
+                operands_available(f, lv, memo, id, at, folded, config)
+            }
+            _ => false,
+        },
+        InstrKind::Store { .. }
+        | InstrKind::Br { .. }
+        | InstrKind::CondBr { .. }
+        | InstrKind::Ret { .. } => false,
+        // Loads are re-executed against (ECC-protected) memory; their own
+        // address operands must be available.
+        InstrKind::Load { .. }
+        | InstrKind::Gep { .. }
+        | InstrKind::Bin { .. }
+        | InstrKind::Icmp { .. }
+        | InstrKind::Fcmp { .. }
+        | InstrKind::Cast { .. }
+        | InstrKind::Select { .. } => operands_available(f, lv, memo, id, at, folded, config),
+    }
+}
+
+/// Figure 5's per-operand test: each operand must be live at the protected
+/// instruction, or itself recomputable.
+fn operands_available(
+    f: &Function,
+    lv: &Liveness,
+    memo: &mut HashMap<Value, bool>,
+    id: InstrId,
+    at: InstrId,
+    folded: &HashSet<Value>,
+    config: ArmorConfig,
+) -> bool {
+    f.instr(id).operands().into_iter().all(|op| {
+        fetchable(f, lv, op, at, folded, config)
+            || is_expandable(f, lv, memo, op, at, folded, config)
+    })
+}
+
+/// The paper's `getParamsAndStmts`: partition the backward slice into cloned
+/// statements and kernel parameters. Returns `None` when some parameter is
+/// not fetchable (the fault would be unrecoverable; no kernel is emitted).
+fn extract_kernel(
+    _app: &Module,
+    f: &Function,
+    lv: &Liveness,
+    access: InstrId,
+    addr: Value,
+    config: ArmorConfig,
+) -> Option<Extraction> {
+    let folded = folded_address_values(f, access);
+    let mut memo = HashMap::new();
+    let mut stmts: HashSet<InstrId> = HashSet::new();
+    let mut params: Vec<Value> = Vec::new();
+    let mut seen_params: HashSet<Value> = HashSet::new();
+    let mut work: Vec<Value> = vec![addr];
+    let mut visited: HashSet<Value> = HashSet::new();
+
+    while let Some(v) = work.pop() {
+        if v.is_const() || !visited.insert(v) {
+            continue;
+        }
+        if is_expandable(f, lv, &mut memo, v, access, &folded, config) {
+            let id = v.as_instr().expect("expandable values are instructions");
+            stmts.insert(id);
+            for op in f.instr(id).operands() {
+                if !op.is_const() {
+                    work.push(op);
+                }
+            }
+        } else {
+            if !fetchable(f, lv, v, access, &folded, config) {
+                return None; // dead, non-recomputable input: no kernel
+            }
+            if seen_params.insert(v) {
+                params.push(v);
+            }
+        }
+    }
+
+    // Emit statements in dependency order (defs before uses). Block order
+    // cannot be used: transformations like inlining append blocks out of
+    // execution order. The slice is acyclic (phis are never statements), so
+    // a simple ready-list schedule terminates.
+    let param_set: HashSet<Value> = params.iter().copied().collect();
+    let mut remaining: Vec<InstrId> = stmts.iter().copied().collect();
+    remaining.sort(); // deterministic
+    let stmt_set = stmts;
+    let mut emitted: HashSet<InstrId> = HashSet::new();
+    let mut ordered: Vec<InstrId> = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let before = ordered.len();
+        remaining.retain(|&id| {
+            let ready = f.instr(id).operands().into_iter().all(|op| {
+                op.is_const()
+                    || matches!(op, Value::Global(_))
+                    || param_set.contains(&op)
+                    || match op {
+                        Value::Instr(d) => !stmt_set.contains(&d) || emitted.contains(&d),
+                        _ => true,
+                    }
+            });
+            if ready {
+                ordered.push(id);
+                emitted.insert(id);
+                false
+            } else {
+                true
+            }
+        });
+        if ordered.len() == before {
+            // Operand outside both params and the slice (should be
+            // impossible); refuse to build a bad kernel.
+            return None;
+        }
+    }
+
+    Some(Extraction { stmts: ordered, params, addr })
+}
+
+/// Clone the extraction into a standalone kernel function and produce the
+/// table parameter specs plus DIE requests.
+fn build_kernel(
+    app: &Module,
+    f: &Function,
+    fid: FuncId,
+    symbol: &str,
+    kernel_index: usize,
+    ext: &Extraction,
+) -> (Function, Vec<ParamSpec>, Vec<DieRequest>) {
+    let param_tys: Vec<Ty> = ext
+        .params
+        .iter()
+        .map(|&p| tinyir::module::value_ty(f, p).unwrap_or(Ty::I64))
+        .collect();
+    let mut kf = Function::new(symbol, param_tys, Some(Ty::Ptr));
+    let entry = kf.entry();
+
+    let param_index: HashMap<Value, u32> = ext
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u32))
+        .collect();
+    let mut cloned: HashMap<InstrId, InstrId> = HashMap::new();
+    let map_value = |v: Value, cloned: &HashMap<InstrId, InstrId>| -> Value {
+        if let Some(&pi) = param_index.get(&v) {
+            return Value::Arg(pi);
+        }
+        match v {
+            Value::Instr(id) => Value::Instr(*cloned.get(&id).unwrap_or_else(|| {
+                panic!("kernel statement operand {id:?} not cloned")
+            })),
+            other => other,
+        }
+    };
+
+    for &sid in &ext.stmts {
+        let mut instr = f.instr(sid).clone();
+        instr.map_operands(|v| map_value(v, &cloned));
+        let new_id = kf.push_instr(entry, instr);
+        cloned.insert(sid, new_id);
+    }
+    let ret_val = map_value(ext.addr, &cloned);
+    kf.push_instr(entry, Instr::new(InstrKind::Ret { val: Some(ret_val) }));
+
+    let mut specs = Vec::with_capacity(ext.params.len());
+    let mut reqs = Vec::new();
+    for (i, &p) in ext.params.iter().enumerate() {
+        match p {
+            Value::Global(g) => specs.push(ParamSpec::GlobalAddr {
+                name: app.global(g).name.clone(),
+            }),
+            Value::ConstInt(..) | Value::ConstFloat(..) | Value::ConstNull => {
+                specs.push(ParamSpec::Const(
+                    tinyir::interp::const_bits(p).unwrap_or(0),
+                ));
+            }
+            Value::Instr(_) | Value::Arg(_) => {
+                let name = format!("care_p_{kernel_index}_{i}");
+                specs.push(ParamSpec::Die { name: name.clone() });
+                reqs.push(DieRequest { func: fid, value: p, name });
+            }
+        }
+    }
+    (kf, specs, reqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyir::builder::ModuleBuilder;
+    use tinyir::verify::verify_module;
+
+    /// The paper's Figure 2 stencil: phitmp[(mzeta+1)*(igrid[i]-igrid_in)+k].
+    fn stencil_module() -> Module {
+        let mut mb = ModuleBuilder::new("gtcp", "gtcp.c");
+        let phitmp = mb.global_zeroed("phitmp", Ty::F64, 4096);
+        let igrid = mb.global_zeroed("igrid", Ty::I64, 128);
+        mb.define(
+            "chargei",
+            vec![Ty::I64, Ty::I64, Ty::I64, Ty::I64],
+            Some(Ty::F64),
+            |fb| {
+                let (mzeta, igrid_in, n, kmax) = (fb.arg(0), fb.arg(1), fb.arg(2), fb.arg(3));
+                let acc = fb.alloca(Ty::F64, 1);
+                fb.store(Value::f64(0.0), acc);
+                fb.for_loop(Value::i64(0), n, |fb, i| {
+                    fb.for_loop(Value::i64(0), kmax, |fb, k| {
+                        let gi = fb.load_elem(fb.global(igrid), i, Ty::I64);
+                        let m1 = fb.add(mzeta, Value::i64(1), Ty::I64);
+                        let d = fb.sub(gi, igrid_in, Ty::I64);
+                        let p = fb.mul(m1, d, Ty::I64);
+                        let idx = fb.add(p, k, Ty::I64);
+                        let v = fb.load_elem(fb.global(phitmp), idx, Ty::F64);
+                        let a = fb.load(acc, Ty::F64);
+                        let s = fb.fadd(a, v, Ty::F64);
+                        fb.store(s, acc);
+                    });
+                });
+                let r = fb.load(acc, Ty::F64);
+                fb.ret(Some(r));
+            },
+        );
+        mb.finish()
+    }
+
+    #[test]
+    fn builds_kernels_for_stencil_accesses() {
+        let m = stencil_module();
+        let out = run_armor(&m);
+        // Kernels exist for the igrid load and the phitmp load; direct
+        // alloca accesses are skipped.
+        assert!(out.stats.num_kernels >= 2, "{:?}", out.stats);
+        assert!(out.stats.direct_accesses >= 3, "acc loads/stores are direct");
+        verify_module(&out.kernel_module).unwrap();
+        assert_eq!(out.table.len(), out.stats.num_kernels);
+    }
+
+    #[test]
+    fn kernel_recomputes_the_address() {
+        // Execute the phitmp kernel via the interpreter with the app's
+        // global layout and check it reproduces base + idx*8.
+        let m = stencil_module();
+        let out = run_armor(&m);
+        // Find the kernel whose parameter list mentions phitmp... the
+        // phitmp kernel takes (mzeta, igrid_in, i-phi, k-phi) style params
+        // plus the global. Identify it as the kernel with the most params.
+        let (key, entry) = out
+            .table
+            .iter()
+            .max_by_key(|(_, e)| e.params.len())
+            .unwrap();
+        let _ = key;
+        // Lay out the APP globals; run the kernel module against them.
+        use tinyir::mem::Memory;
+        let mut mem = tinyir::mem::PagedMemory::new();
+        let gaddrs = tinyir::interp::layout_globals(&m, &mut mem, 0x1000_0000);
+        // Fill igrid[3] = 17.
+        let igrid_gid = m.global_by_name("igrid").unwrap();
+        mem.store(gaddrs[igrid_gid.0 as usize] + 3 * 8, 8, 17).unwrap();
+
+        let mut interp = tinyir::interp::Interp::new(
+            &out.kernel_module,
+            &mut mem,
+            &gaddrs,
+            0x7f00_0000_0000,
+            0x7f00_0100_0000,
+            0x6000_0000_0000,
+            1_000_000,
+        );
+        // Kernel params in discovery order; build the argument values:
+        // mzeta=2, igrid_in=5, i=3, k=4 — whichever order, supply via spec
+        // inspection.
+        let kf = &out.kernel_module.func(entry.kernel);
+        assert_eq!(kf.params.len(), entry.params.len());
+        // The kernel of interest must reference the phitmp global
+        // internally (cloned gep) or via param.
+        let phitmp_gid = m.global_by_name("phitmp").unwrap();
+        let phitmp_addr = gaddrs[phitmp_gid.0 as usize];
+        // Synthesise argument bits: for this structured test we map DIE
+        // params positionally to the known loop values.
+        // Resolve each DIE param back to its IR value via the requests:
+        // mzeta = Arg(0) -> 2, igrid_in = Arg(1) -> 5, loop phis (i, k) -> 3.
+        let mut args = Vec::new();
+        for spec in &entry.params {
+            match spec {
+                ParamSpec::GlobalAddr { name } => {
+                    let gid = m.global_by_name(name).unwrap();
+                    args.push(gaddrs[gid.0 as usize]);
+                }
+                ParamSpec::Const(v) => args.push(*v),
+                ParamSpec::Die { name } => {
+                    let req = out
+                        .die_requests
+                        .iter()
+                        .find(|r| &r.name == name)
+                        .expect("request for die param");
+                    args.push(match req.value {
+                        Value::Arg(0) => 2, // mzeta
+                        Value::Arg(1) => 5, // igrid_in
+                        _ => 3,             // induction variables i and k
+                    });
+                }
+            }
+        }
+        let got = interp.call(entry.kernel, &args).unwrap().unwrap();
+        // idx = (mzeta+1)*(igrid[3]-igrid_in)+k = 3*(17-5)+3 = 39.
+        let expect = phitmp_addr + 39 * 8;
+        assert_eq!(got, expect, "kernel must recompute the stencil address");
+    }
+
+    #[test]
+    fn induction_variable_becomes_parameter_not_statement() {
+        let m = stencil_module();
+        let out = run_armor(&m);
+        // No kernel may clone a phi: phis are extraction stop points.
+        for f in &out.kernel_module.funcs {
+            assert!(
+                !f.instrs
+                    .iter()
+                    .any(|i| matches!(i.kind, InstrKind::Phi { .. })),
+                "kernels must not contain phis"
+            );
+        }
+    }
+
+    #[test]
+    fn complex_calls_terminate_extraction() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        let g = mb.global_zeroed("arr", Ty::F64, 64);
+        let helper = mb.declare("opaque_index", vec![Ty::I64], Some(Ty::I64));
+        mb.define("user", vec![Ty::I64], Some(Ty::F64), |fb| {
+            let idx = fb.call(helper, vec![fb.arg(0)]);
+            let i2 = fb.add(idx, Value::i64(1), Ty::I64);
+            let v = fb.load_elem(fb.global(g), i2, Ty::F64);
+            fb.ret(Some(v));
+        });
+        mb.define("opaque_index", vec![Ty::I64], Some(Ty::I64), |fb| {
+            let r = fb.mul(fb.arg(0), Value::i64(3), Ty::I64);
+            fb.ret(Some(r));
+        });
+        let m = mb.finish();
+        let out = run_armor(&m);
+        // The kernel for arr[f(x)+1] must take the call result as a
+        // parameter, not clone the call.
+        let entry = out.table.iter().next().map(|(_, e)| e.clone());
+        if let Some(e) = entry {
+            let kf = out.kernel_module.func(e.kernel);
+            assert!(
+                !kf.instrs
+                    .iter()
+                    .any(|i| matches!(i.kind, InstrKind::Call { callee: Callee::Func(_), .. })),
+                "complex calls must not be cloned"
+            );
+        }
+    }
+
+    #[test]
+    fn simple_math_calls_are_cloned() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        let g = mb.global_zeroed("arr", Ty::F64, 4096);
+        mb.define("user", vec![Ty::F64, Ty::I64], Some(Ty::F64), |fb| {
+            // idx = (i64)sqrt(x) + n*2 — sqrt is extraction-transparent.
+            let r = fb.sqrt(fb.arg(0));
+            let ri = fb.cast(tinyir::CastOp::FpToSi, r, Ty::I64);
+            let n2 = fb.mul(fb.arg(1), Value::i64(2), Ty::I64);
+            let idx = fb.add(ri, n2, Ty::I64);
+            let v = fb.load_elem(fb.global(g), idx, Ty::F64);
+            fb.ret(Some(v));
+        });
+        let m = mb.finish();
+        let out = run_armor(&m);
+        assert_eq!(out.stats.num_kernels, 1);
+        let (_, e) = out.table.iter().next().unwrap();
+        let kf = out.kernel_module.func(e.kernel);
+        assert!(
+            kf.instrs
+                .iter()
+                .any(|i| matches!(i.kind, InstrKind::Call { callee: Callee::Intrinsic(_), .. })),
+            "sqrt should be cloned into the kernel"
+        );
+        // Its params are the global base plus x and n (the app arguments).
+        assert_eq!(e.params.len(), 3);
+        let dies = e
+            .params
+            .iter()
+            .filter(|p| matches!(p, ParamSpec::Die { .. }))
+            .count();
+        assert_eq!(dies, 2);
+    }
+
+    #[test]
+    fn stats_cover_table5_shape() {
+        let m = stencil_module();
+        let out = run_armor(&m);
+        assert!(out.stats.avg_addr_ops() > 0.5);
+        assert!(out.stats.multi_op_fraction() > 0.0);
+        assert!(out.stats.pass_seconds >= out.stats.liveness_seconds);
+    }
+
+    #[test]
+    fn die_requests_reference_live_values() {
+        let m = stencil_module();
+        let out = run_armor(&m);
+        assert!(!out.die_requests.is_empty());
+        for r in &out.die_requests {
+            assert!(r.name.starts_with("care_p_"));
+            // Each request targets an arg or instruction value.
+            assert!(matches!(r.value, Value::Arg(_) | Value::Instr(_)));
+        }
+        // Names are unique.
+        let mut names: Vec<&String> = out.die_requests.iter().map(|r| &r.name).collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

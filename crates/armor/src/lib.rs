@@ -1,0 +1,15 @@
+//! # armor — CARE's compiler half
+//!
+//! Armor is the LLVM-pass analogue of the paper (§3.2–§3.3): for every
+//! memory-access instruction it extracts the backward slice of the address
+//! computation ([`extract`]), clones it into a recovery-kernel function in a
+//! standalone library module, and registers the kernel in the
+//! [`table::RecoveryTable`] keyed by the MD5 ([`md5`]) of the instruction's
+//! `(file, line, col)` debug tuple.
+
+pub mod extract;
+pub mod md5;
+pub mod table;
+
+pub use extract::{run_armor, run_armor_with, ArmorConfig, ArmorOutput, ArmorStats};
+pub use table::{ParamSpec, RecoveryKey, RecoveryTable, TableEntry};

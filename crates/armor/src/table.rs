@@ -1,0 +1,270 @@
+//! The Recovery Table: key → (kernel symbol, parameter descriptors).
+//!
+//! The paper (§3.3, Table 6) stores three pieces of information per memory
+//! access instruction: a **key** (MD5 of the `(file, line, col)` debug
+//! tuple), a **symbol** naming the recovery kernel in the recovery library,
+//! and **parameters** describing how to fetch the kernel's inputs from the
+//! stopped process. The prototype serialises the table with protobuf; we
+//! hand-roll an equivalent length-prefixed binary codec so that table
+//! encode/decode cost and size are modelled, not waved away.
+
+use crate::md5::{hex, md5};
+use std::collections::HashMap;
+use tinyir::{DebugLoc, FuncId, Module};
+
+/// A recovery-table key: MD5 digest of `"<file>:<line>:<col>"`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RecoveryKey(pub [u8; 16]);
+
+impl RecoveryKey {
+    /// Compute the key for a debug location, rendering the interned file id
+    /// through the module's file table (the paper hashes the file *name*).
+    pub fn for_loc(module: &Module, loc: DebugLoc) -> RecoveryKey {
+        let text = format!("{}:{}:{}", module.file_name(loc.file), loc.line, loc.col);
+        RecoveryKey(md5(text.as_bytes()))
+    }
+
+    /// Hex form (used in kernel symbol names).
+    pub fn hex(&self) -> String {
+        hex(&self.0)
+    }
+}
+
+/// How Safeguard obtains one kernel argument from the stopped process.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ParamSpec {
+    /// Look up the named variable DIE, resolve its location list at the
+    /// faulting PC, and read the register or frame slot.
+    Die { name: String },
+    /// The address of a global variable — a "constant pointer" resolvable
+    /// through the symbol table, no DIE needed.
+    GlobalAddr { name: String },
+    /// An inline constant (always uncontaminated).
+    Const(u64),
+}
+
+/// One recovery-table entry.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TableEntry {
+    /// Kernel symbol in the recovery library.
+    pub symbol: String,
+    /// Function index within the recovery-kernel module.
+    pub kernel: FuncId,
+    /// Argument descriptors, in kernel-parameter order.
+    pub params: Vec<ParamSpec>,
+}
+
+/// The recovery table.
+#[derive(Clone, Default, Debug)]
+pub struct RecoveryTable {
+    entries: HashMap<RecoveryKey, TableEntry>,
+}
+
+impl RecoveryTable {
+    /// Empty table.
+    pub fn new() -> RecoveryTable {
+        RecoveryTable::default()
+    }
+
+    /// Register a kernel under `key`.
+    pub fn insert(&mut self, key: RecoveryKey, entry: TableEntry) {
+        self.entries.insert(key, entry);
+    }
+
+    /// Look up the kernel for a key (Safeguard's first step after mapping
+    /// the faulting PC through the line table).
+    pub fn lookup(&self, key: &RecoveryKey) -> Option<&TableEntry> {
+        self.entries.get(key)
+    }
+
+    /// Number of registered kernels.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no kernels are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (&RecoveryKey, &TableEntry)> {
+        self.entries.iter()
+    }
+
+    /// Serialise to the length-prefixed binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.entries.len() * 64);
+        out.extend_from_slice(b"CARE");
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        // Deterministic order for reproducible artefacts.
+        let mut keys: Vec<&RecoveryKey> = self.entries.keys().collect();
+        keys.sort();
+        for k in keys {
+            let e = &self.entries[k];
+            out.extend_from_slice(&k.0);
+            put_str(&mut out, &e.symbol);
+            out.extend_from_slice(&e.kernel.0.to_le_bytes());
+            out.extend_from_slice(&(e.params.len() as u32).to_le_bytes());
+            for p in &e.params {
+                match p {
+                    ParamSpec::Die { name } => {
+                        out.push(0);
+                        put_str(&mut out, name);
+                    }
+                    ParamSpec::GlobalAddr { name } => {
+                        out.push(1);
+                        put_str(&mut out, name);
+                    }
+                    ParamSpec::Const(v) => {
+                        out.push(2);
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserialise from [`RecoveryTable::encode`]'s format.
+    pub fn decode(data: &[u8]) -> Result<RecoveryTable, String> {
+        let mut cur = Cursor { data, pos: 0 };
+        if cur.take(4)? != b"CARE" {
+            return Err("bad magic".into());
+        }
+        let n = cur.u32()? as usize;
+        // Each entry occupies at least key(16) + symbol-len(4) + kernel(4)
+        // + param-count(4) bytes; a count beyond that bound means the
+        // artefact is damaged — reject it rather than over-allocating.
+        if n > data.len() / 28 {
+            return Err(format!("implausible entry count {n}"));
+        }
+        let mut entries = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let mut key = [0u8; 16];
+            key.copy_from_slice(cur.take(16)?);
+            let symbol = cur.string()?;
+            let kernel = FuncId(cur.u32()?);
+            let np = cur.u32()? as usize;
+            let mut params = Vec::with_capacity(np);
+            for _ in 0..np {
+                let tag = cur.take(1)?[0];
+                params.push(match tag {
+                    0 => ParamSpec::Die { name: cur.string()? },
+                    1 => ParamSpec::GlobalAddr { name: cur.string()? },
+                    2 => {
+                        let mut b = [0u8; 8];
+                        b.copy_from_slice(cur.take(8)?);
+                        ParamSpec::Const(u64::from_le_bytes(b))
+                    }
+                    t => return Err(format!("bad param tag {t}")),
+                });
+            }
+            entries.insert(RecoveryKey(key), TableEntry { symbol, kernel, params });
+        }
+        Ok(RecoveryTable { entries })
+    }
+
+    /// Encoded size in bytes (memory-overhead accounting).
+    pub fn encoded_size(&self) -> u64 {
+        self.encode().len() as u64
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.data.len() {
+            return Err("truncated table".into());
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(b))
+    }
+    fn string(&mut self) -> Result<String, String> {
+        let n = self.u32()? as usize;
+        if n > 1 << 20 {
+            return Err("implausible string length".into());
+        }
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyir::{FileId, Module};
+
+    fn sample_table() -> (RecoveryTable, RecoveryKey) {
+        let mut m = Module::new("m");
+        let f = m.intern_file("gtcp.c");
+        let key = RecoveryKey::for_loc(&m, DebugLoc::new(f, 156, 9));
+        let mut t = RecoveryTable::new();
+        t.insert(
+            key,
+            TableEntry {
+                symbol: "care_recovery_k1".into(),
+                kernel: FuncId(0),
+                params: vec![
+                    ParamSpec::Die { name: "care_p_0".into() },
+                    ParamSpec::GlobalAddr { name: "phitmp".into() },
+                    ParamSpec::Const(42),
+                ],
+            },
+        );
+        (t, key)
+    }
+
+    #[test]
+    fn keys_depend_on_all_tuple_parts() {
+        let mut m = Module::new("m");
+        let f1 = m.intern_file("a.c");
+        let f2 = m.intern_file("b.c");
+        let base = RecoveryKey::for_loc(&m, DebugLoc::new(f1, 10, 2));
+        assert_ne!(base, RecoveryKey::for_loc(&m, DebugLoc::new(f2, 10, 2)));
+        assert_ne!(base, RecoveryKey::for_loc(&m, DebugLoc::new(f1, 11, 2)));
+        assert_ne!(base, RecoveryKey::for_loc(&m, DebugLoc::new(f1, 10, 3)));
+        assert_eq!(base, RecoveryKey::for_loc(&m, DebugLoc::new(f1, 10, 2)));
+        let _ = FileId(0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let (t, key) = sample_table();
+        let bytes = t.encode();
+        let t2 = RecoveryTable::decode(&bytes).unwrap();
+        assert_eq!(t2.len(), 1);
+        assert_eq!(t2.lookup(&key), t.lookup(&key));
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let (t, _) = sample_table();
+        let mut bytes = t.encode();
+        bytes[0] = b'X'; // magic
+        assert!(RecoveryTable::decode(&bytes).is_err());
+        let bytes = t.encode();
+        assert!(RecoveryTable::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn lookup_miss_returns_none() {
+        let (t, _) = sample_table();
+        let other = RecoveryKey(md5(b"nope"));
+        assert!(t.lookup(&other).is_none());
+    }
+}

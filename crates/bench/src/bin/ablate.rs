@@ -1,0 +1,155 @@
+//! `ablate` — ablation studies for the design choices DESIGN.md §5 calls
+//! out. Each ablation flips one mechanism and reruns the §5 coverage
+//! campaign, quantifying why the paper's design is the way it is.
+//!
+//! ```text
+//! ablate [--injections N] [liveness|patch|guard|lazy|all]
+//! ```
+
+use bench::{prepare, pct, Table};
+use faultsim::{Campaign, CampaignConfig, FaultModel};
+use opt::OptLevel;
+
+fn main() {
+    let mut injections = 200usize;
+    let mut which = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--injections" => {
+                injections = it.next().and_then(|v| v.parse().ok()).expect("N")
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".into());
+    }
+    let want = |n: &str| which.iter().any(|w| w == n || w == "all");
+    let seed = 0xAB1A7E;
+
+    if want("liveness") {
+        // Ablation 1: drop the terminal-value liveness rule. Armor then
+        // emits kernels whose parameters may be gone at runtime; coverage
+        // falls because Safeguard must decline (or the kernel reads junk and
+        // the equality guard kills the repair).
+        let mut t = Table::new(
+            "Ablation: terminal-value liveness rule (O1 coverage)",
+            &["Workload", "strict (paper)", "relaxed"],
+        );
+        for w in bench::section5_workloads() {
+            let strict = {
+                let p = prepare(&w, OptLevel::O1);
+                p.campaign
+                    .run(&cfg(injections, seed))
+                    .coverage()
+            };
+            let relaxed = {
+                let app = care::compile_with(
+                    &w.module,
+                    OptLevel::O1,
+                    armor::ArmorConfig { strict_liveness: false },
+                );
+                let c = Campaign::prepare(&w, app, vec![]);
+                c.run(&cfg(injections, seed)).coverage()
+            };
+            t.row(vec![w.name.into(), pct(strict), pct(relaxed)]);
+        }
+        println!("{}", t.render());
+    }
+
+    if want("patch") {
+        // Ablation 2: base-first instead of index-first patching.
+        let mut t = Table::new(
+            "Ablation: operand patching strategy (O1 coverage)",
+            &["Workload", "index-first (paper)", "base-first"],
+        );
+        for w in bench::section5_workloads() {
+            let p = prepare(&w, OptLevel::O1);
+            let idx_first = p.campaign.run(&cfg(injections, seed)).coverage();
+            let base_first = p
+                .campaign
+                .run(&CampaignConfig { patch_base_first: true, ..cfg(injections, seed) })
+                .coverage();
+            t.row(vec![w.name.into(), pct(idx_first), pct(base_first)]);
+        }
+        println!("{}", t.render());
+    }
+
+    if want("guard") {
+        // Ablation 3: remove the §5.2 address-equality guard. Repairs of
+        // contaminated-input kernels then "succeed" — and silently corrupt
+        // the output, exactly the SDC substitution the paper criticises in
+        // RCV/LetGo.
+        let mut t = Table::new(
+            "Ablation: address-equality guard (O0)",
+            &["Workload", "guarded: covered", "unguarded: covered", "unguarded: survived w/ SDC"],
+        );
+        for w in bench::section5_workloads() {
+            let p = prepare(&w, OptLevel::O0);
+            let guarded = p.campaign.run(&cfg(injections, seed));
+            let unguarded = p.campaign.run(&CampaignConfig {
+                skip_equality_guard: true,
+                ..cfg(injections, seed)
+            });
+            t.row(vec![
+                w.name.into(),
+                format!("{}/{}", guarded.care_covered, guarded.care_evaluated),
+                format!("{}/{}", unguarded.care_covered, unguarded.care_evaluated),
+                unguarded.care_survived_with_sdc.to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    if want("lazy") {
+        // Ablation 4: eager vs lazy kernel-library loading — the paper's
+        // lazy design trades recovery latency for a zero steady-state
+        // kernel footprint.
+        let mut t = Table::new(
+            "Ablation: lazy vs eager recovery-library loading",
+            &[
+                "Workload",
+                "steady-state bytes (lazy)",
+                "steady-state bytes (eager)",
+                "recovery ms (lazy)",
+                "recovery ms (eager)",
+            ],
+        );
+        for w in bench::section5_workloads() {
+            let p = prepare(&w, OptLevel::O0);
+            let r = p.campaign.run(&CampaignConfig {
+                evaluate_care: true,
+                app_only: true,
+                injections,
+                seed,
+                ..CampaignConfig::default()
+            });
+            let o = care::memory_overhead(&[&p.app]);
+            // Eager loading pre-pays dlopen: subtract it from the recovery
+            // path, add the kernels to the resident set.
+            let cost = safeguard::CostModel::default();
+            let dlopen = cost.dlopen_base_ms
+                + p.app.armor.stats.num_kernels as f64 * cost.dlopen_per_kernel_ms;
+            t.row(vec![
+                w.name.into(),
+                o.steady_state_bytes().to_string(),
+                (o.steady_state_bytes() + o.lazy_kernel_bytes).to_string(),
+                format!("{:.1}", r.mean_recovery_ms()),
+                format!("{:.1}", (r.mean_recovery_ms() - dlopen).max(0.0)),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+}
+
+fn cfg(injections: usize, seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        injections,
+        model: FaultModel::SingleBit,
+        seed,
+        evaluate_care: true,
+        app_only: true,
+        ..CampaignConfig::default()
+    }
+}

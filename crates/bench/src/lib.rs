@@ -1,0 +1,160 @@
+//! # bench — experiment harness shared by the `repro` binary and the
+//! Criterion benches.
+//!
+//! Each function here regenerates the data behind one table or figure of
+//! the paper (see DESIGN.md §4 for the full index). The `repro` binary
+//! formats them as the paper's rows; the Criterion benches time the
+//! underlying operations (Armor pass, recovery path, campaign throughput).
+
+use care::CompiledApp;
+use faultsim::{Campaign, CampaignConfig, CampaignReport, FaultModel};
+use opt::OptLevel;
+use workloads::Workload;
+
+/// Rows of a formatted text table.
+pub struct Table {
+    /// Table title (paper reference).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                } else {
+                    widths.push(c.len());
+                }
+            }
+        }
+        let mut out = format!("\n== {} ==\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A prepared (workload, campaign) pair, cached per opt level.
+pub struct PreparedWorkload {
+    /// Workload name.
+    pub name: &'static str,
+    /// The compiled application.
+    pub app: CompiledApp,
+    /// The ready-to-run campaign.
+    pub campaign: Campaign,
+}
+
+/// Compile a workload and prepare its campaign.
+pub fn prepare(workload: &Workload, level: OptLevel) -> PreparedWorkload {
+    let app = care::compile(&workload.module, level);
+    let campaign = Campaign::prepare(workload, app.clone(), vec![]);
+    PreparedWorkload { name: workload.name, app, campaign }
+}
+
+/// The §2-style campaign (whole program, no CARE evaluation).
+pub fn manifestation_campaign(
+    prepared: &PreparedWorkload,
+    injections: usize,
+    model: FaultModel,
+    seed: u64,
+) -> CampaignReport {
+    prepared.campaign.run(&CampaignConfig {
+        injections,
+        model,
+        seed,
+        evaluate_care: false,
+        app_only: false,
+        ..CampaignConfig::default()
+    })
+}
+
+/// The §5-style campaign (application code only, CARE evaluated on every
+/// SIGSEGV injection).
+pub fn coverage_campaign(
+    prepared: &PreparedWorkload,
+    injections: usize,
+    model: FaultModel,
+    seed: u64,
+) -> CampaignReport {
+    prepared.campaign.run(&CampaignConfig {
+        injections,
+        model,
+        seed,
+        evaluate_care: true,
+        app_only: true,
+        ..CampaignConfig::default()
+    })
+}
+
+/// Percentage formatting helper.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// The workload set used by the §2 tables (paper order).
+pub fn section2_workloads() -> Vec<Workload> {
+    workloads::all()
+}
+
+/// The workload set used by the §5 evaluation (paper skips miniFE there).
+pub fn section5_workloads() -> Vec<Workload> {
+    workloads::evaluated()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "22".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn prepare_yields_runnable_campaign() {
+        let w = workloads::hpccg::build(3, 2);
+        let p = prepare(&w, OptLevel::O0);
+        let r = manifestation_campaign(&p, 10, FaultModel::SingleBit, 1);
+        assert!(r.total() >= 8);
+    }
+}

@@ -1,0 +1,318 @@
+//! # cluster — BSP parallel-job simulation (paper §5.4, Figure 10)
+//!
+//! The paper runs 512 MPI ranks × 6 threads on 64 nodes (3072 cores),
+//! injects a CARE-recoverable fault into rank 0, and shows the job finishes
+//! with almost no delay because the dozens-of-milliseconds recovery is
+//! absorbed by the next bulk-synchronous barrier. The checkpoint/restart
+//! baseline instead pays tens of seconds (requeue + checkpoint load + lost
+//! work), quantified for GTC-P at checkpoint intervals of 20/50/75 steps.
+//!
+//! Our simulator reproduces that timing argument: ranks advance in virtual
+//! time through per-step compute samples and an allreduce barrier; rank 0's
+//! recovery events come from a *real* SimISA run of the workload under
+//! injection + Safeguard (see [`rank0::run_rank0_with_fault`]), and the
+//! delay propagation through the barriers is exact.
+
+pub mod rank0;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Cluster/job geometry and timing model.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// MPI ranks (the paper: 512).
+    pub ranks: usize,
+    /// Threads per rank (the paper: 6; scales the compute-time mean).
+    pub threads_per_rank: usize,
+    /// Bulk-synchronous timesteps in the job.
+    pub timesteps: u64,
+    /// Mean per-step compute milliseconds per rank.
+    pub step_mean_ms: f64,
+    /// Relative compute-time jitter (uniform ±).
+    pub step_jitter: f64,
+    /// Per-step allreduce/barrier cost.
+    pub allreduce_ms: f64,
+    /// RNG seed for the per-rank time samples.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            ranks: 512,
+            threads_per_rank: 6,
+            timesteps: 100,
+            step_mean_ms: 770.0,
+            step_jitter: 0.05,
+            allreduce_ms: 2.0,
+            seed: 3072,
+        }
+    }
+}
+
+/// The resilience mechanism in effect for a faulty run.
+#[derive(Clone, Debug)]
+pub enum Resilience {
+    /// No protection: the job dies at the fault and is rerun from scratch
+    /// after a requeue (worst-case baseline).
+    None {
+        /// Batch-queue wait before the rerun starts.
+        requeue_ms: f64,
+    },
+    /// CARE: recovery events `(step, recovery_ms)` delay rank 0 only.
+    Care {
+        /// Recovery events observed on rank 0.
+        events: Vec<(u64, f64)>,
+    },
+    /// Checkpoint/restart with a fixed interval.
+    CheckpointRestart {
+        /// Steps between checkpoints.
+        interval: u64,
+        /// Time to write one checkpoint (paid every interval, all ranks).
+        write_ms: f64,
+        /// Time to load the checkpoint on restart.
+        load_ms: f64,
+        /// Batch-queue wait before the restart (0 with an immediate
+        /// automatic restart, as the paper generously assumes).
+        requeue_ms: f64,
+    },
+}
+
+/// Outcome of a simulated job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobOutcome {
+    /// Virtual wall-clock of the whole job, milliseconds.
+    pub makespan_ms: f64,
+    /// Virtual time attributable to resilience (recoveries, checkpoints,
+    /// redone work).
+    pub overhead_ms: f64,
+    /// The failure-recovery component alone (checkpoint load + redone work,
+    /// or CARE recoveries) — the quantity the paper reports as "time to
+    /// recover from a failure" (14.4 / 25.9 / 37.6 s for C/R on GTC-P).
+    pub restart_ms: f64,
+}
+
+/// Deterministic per-(rank, step) compute-time sample.
+fn step_time_ms(cfg: &ClusterConfig, rank: usize, step: u64) -> f64 {
+    let mut h = cfg
+        .seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(((rank as u64) << 32) | step);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+    // Thread scaling: the mean is calibrated for 6 threads/rank.
+    let scale = 6.0 / cfg.threads_per_rank as f64;
+    cfg.step_mean_ms * scale * (1.0 + cfg.step_jitter * (2.0 * u - 1.0))
+}
+
+/// Simulate a fault-free job: Σ_t (max_r compute(r, t) + allreduce).
+pub fn simulate_fault_free(cfg: &ClusterConfig) -> JobOutcome {
+    let mut total = 0.0;
+    for t in 0..cfg.timesteps {
+        let mut maxr: f64 = 0.0;
+        for r in 0..cfg.ranks {
+            maxr = maxr.max(step_time_ms(cfg, r, t));
+        }
+        total += maxr + cfg.allreduce_ms;
+    }
+    JobOutcome { makespan_ms: total, overhead_ms: 0.0, restart_ms: 0.0 }
+}
+
+/// Simulate a job that experiences one fault on rank 0 at `fault_step`,
+/// handled by `resilience`.
+pub fn simulate_faulty(
+    cfg: &ClusterConfig,
+    fault_step: u64,
+    resilience: &Resilience,
+) -> JobOutcome {
+    let base = simulate_fault_free(cfg);
+    match resilience {
+        Resilience::Care { events } => {
+            // Rank 0's recovery delay is absorbed unless it exceeds the
+            // slack between rank 0's step time and the barrier's critical
+            // path.
+            let mut total = 0.0;
+            let mut overhead = 0.0;
+            for t in 0..cfg.timesteps {
+                let mut maxr: f64 = 0.0;
+                for r in 1..cfg.ranks {
+                    maxr = maxr.max(step_time_ms(cfg, r, t));
+                }
+                let mut r0 = step_time_ms(cfg, 0, t);
+                for (es, ems) in events {
+                    if *es == t {
+                        r0 += ems;
+                    }
+                }
+                let step = r0.max(maxr) + cfg.allreduce_ms;
+                let unfaulted = step_time_ms(cfg, 0, t).max(maxr) + cfg.allreduce_ms;
+                total += step;
+                overhead += step - unfaulted;
+            }
+            JobOutcome { makespan_ms: total, overhead_ms: overhead, restart_ms: overhead }
+        }
+        Resilience::CheckpointRestart { interval, write_ms, load_ms, requeue_ms } => {
+            // Checkpoints every `interval` steps; on the fault, redo from
+            // the last checkpoint after a load (+ optional requeue).
+            let mut total = 0.0;
+            let mut overhead = 0.0;
+            let step_cost = |t: u64| -> f64 {
+                let mut maxr: f64 = 0.0;
+                for r in 0..cfg.ranks {
+                    maxr = maxr.max(step_time_ms(cfg, r, t));
+                }
+                maxr + cfg.allreduce_ms
+            };
+            for t in 0..cfg.timesteps {
+                total += step_cost(t);
+                if t > 0 && t % interval == 0 {
+                    total += write_ms;
+                    overhead += write_ms;
+                }
+            }
+            let last_ckpt = (fault_step / interval) * interval;
+            let lost: f64 = (last_ckpt..=fault_step).map(step_cost).sum();
+            let restart = requeue_ms + load_ms + lost;
+            total += restart;
+            overhead += restart;
+            JobOutcome { makespan_ms: total, overhead_ms: overhead, restart_ms: restart }
+        }
+        Resilience::None { requeue_ms } => {
+            // Everything up to the fault is lost; requeue and rerun.
+            let lost: f64 = (0..=fault_step)
+                .map(|t| {
+                    let mut maxr: f64 = 0.0;
+                    for r in 0..cfg.ranks {
+                        maxr = maxr.max(step_time_ms(cfg, r, t));
+                    }
+                    maxr + cfg.allreduce_ms
+                })
+                .sum();
+            JobOutcome {
+                makespan_ms: base.makespan_ms + requeue_ms + lost,
+                overhead_ms: requeue_ms + lost,
+                restart_ms: requeue_ms + lost,
+            }
+        }
+    }
+}
+
+/// The §5.4 experiment: `trials` faulty runs with CARE recovery events at
+/// randomly shifted steps; returns the fault-free baseline and the per-trial
+/// outcomes.
+pub fn figure10_experiment(
+    cfg: &ClusterConfig,
+    trials: usize,
+    recovery_events: &[(u64, f64)],
+) -> (JobOutcome, Vec<JobOutcome>) {
+    let base = simulate_fault_free(cfg);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xF16);
+    let outcomes = (0..trials)
+        .map(|_| {
+            let shift = rng.gen_range(0..cfg.timesteps);
+            let events: Vec<(u64, f64)> = recovery_events
+                .iter()
+                .map(|(s, ms)| ((s + shift) % cfg.timesteps, *ms))
+                .collect();
+            let fstep = events.first().map(|e| e.0).unwrap_or(0);
+            simulate_faulty(cfg, fstep, &Resilience::Care { events })
+        })
+        .collect();
+    (base, outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ClusterConfig {
+        ClusterConfig { ranks: 64, timesteps: 50, ..ClusterConfig::default() }
+    }
+
+    #[test]
+    fn care_recovery_is_absorbed_by_barriers() {
+        let cfg = small_cfg();
+        let base = simulate_fault_free(&cfg);
+        let care = simulate_faulty(
+            &cfg,
+            25,
+            &Resilience::Care { events: vec![(25, 40.0)] }, // 40 ms recovery
+        );
+        let slowdown = (care.makespan_ms - base.makespan_ms) / base.makespan_ms;
+        assert!(
+            slowdown < 0.01,
+            "CARE slowdown must be <1%: {slowdown:.4} ({} vs {})",
+            care.makespan_ms,
+            base.makespan_ms
+        );
+        assert!(care.overhead_ms <= 40.0 + 1e-9);
+    }
+
+    #[test]
+    fn checkpoint_restart_costs_grow_with_interval() {
+        // Paper §5.4: 14.4 s / 25.9 s / 37.6 s average recovery for
+        // checkpoints every 20 / 50 / 75 steps — monotone in the interval.
+        let cfg = ClusterConfig { ranks: 64, timesteps: 150, ..ClusterConfig::default() };
+        let mk = |interval| {
+            // Average the *restart* cost over fault positions, as the paper
+            // does ("time to recover from a failure").
+            let mut acc = 0.0;
+            let mut n = 0;
+            for fs in (0..150).step_by(7) {
+                let o = simulate_faulty(
+                    &cfg,
+                    fs,
+                    &Resilience::CheckpointRestart {
+                        interval,
+                        write_ms: 800.0,
+                        load_ms: 6600.0,
+                        requeue_ms: 0.0,
+                    },
+                );
+                acc += o.restart_ms;
+                n += 1;
+            }
+            acc / n as f64
+        };
+        let (c20, c50, c75) = (mk(20), mk(50), mk(75));
+        assert!(c20 < c50 && c50 < c75, "{c20} {c50} {c75}");
+        // The paper band: 14.4 s / 25.9 s / 37.6 s — tens of seconds,
+        // orders beyond CARE's tens of ms.
+        assert!(c20 > 8_000.0 && c20 < 25_000.0, "{c20}");
+        assert!(c75 > 25_000.0 && c75 < 60_000.0, "{c75}");
+    }
+
+    #[test]
+    fn unprotected_job_pays_full_rerun() {
+        let cfg = small_cfg();
+        let base = simulate_fault_free(&cfg);
+        let none = simulate_faulty(&cfg, 40, &Resilience::None { requeue_ms: 60_000.0 });
+        assert!(none.makespan_ms > base.makespan_ms + 60_000.0);
+    }
+
+    #[test]
+    fn more_threads_speed_up_steps() {
+        let c6 = ClusterConfig { threads_per_rank: 6, ..small_cfg() };
+        let c3 = ClusterConfig { threads_per_rank: 3, ..small_cfg() };
+        assert!(simulate_fault_free(&c6).makespan_ms < simulate_fault_free(&c3).makespan_ms);
+    }
+
+    #[test]
+    fn figure10_trials_match_fault_free_closely() {
+        let cfg = small_cfg();
+        let (base, runs) = figure10_experiment(&cfg, 20, &[(10, 35.0)]);
+        for r in &runs {
+            let rel = (r.makespan_ms - base.makespan_ms).abs() / base.makespan_ms;
+            assert!(rel < 0.02, "trial deviates {rel:.4}");
+        }
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic() {
+        let cfg = small_cfg();
+        assert_eq!(simulate_fault_free(&cfg), simulate_fault_free(&cfg));
+    }
+}

@@ -1,0 +1,82 @@
+//! Rank 0 runs for real: a SimISA execution of the actual workload under
+//! fault injection + Safeguard, supplying the recovery events that drive
+//! the BSP timeline.
+//!
+//! The paper's §5.4 methodology injects *CARE-recoverable* faults into
+//! rank 0 (via a PMPI_Init wrapper + ptrace); we reproduce that by sampling
+//! injections until one produces a SIGSEGV that Safeguard repairs.
+
+use faultsim::{Campaign, CampaignConfig, Outcome, Signal};
+use opt::OptLevel;
+use workloads::Workload;
+
+/// What rank 0 experienced.
+#[derive(Clone, Debug)]
+pub struct Rank0Result {
+    /// Successful Safeguard activations.
+    pub recoveries: u64,
+    /// Total modelled recovery time.
+    pub recovery_ms: f64,
+    /// Injection index that produced the recoverable fault (for
+    /// reproducibility records).
+    pub injection_index: usize,
+}
+
+/// Run the workload with injections until a CARE-recovered SIGSEGV is
+/// observed (trying up to `max_attempts` injection indices). Returns `None`
+/// if no recoverable fault was found within the budget.
+pub fn run_rank0_with_fault(
+    workload: &Workload,
+    level: OptLevel,
+    seed: u64,
+    max_attempts: usize,
+) -> Option<Rank0Result> {
+    let app = care::compile(&workload.module, level);
+    let campaign = Campaign::prepare(workload, app, vec![]);
+    let cfg = CampaignConfig {
+        injections: max_attempts,
+        seed,
+        evaluate_care: true,
+        app_only: true,
+        ..CampaignConfig::default()
+    };
+    for i in 0..max_attempts {
+        let Some(rec) = campaign.run_one(&cfg, i) else { continue };
+        if rec.outcome != Outcome::SoftFailure(Signal::Segv) {
+            continue;
+        }
+        if let Some(care_res) = rec.care {
+            if care_res.covered {
+                return Some(Rank0Result {
+                    recoveries: care_res.recoveries,
+                    recovery_ms: care_res.recovery_ms,
+                    injection_index: i,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{figure10_experiment, ClusterConfig};
+
+    #[test]
+    fn rank0_recovery_feeds_cluster_timeline() {
+        let w = workloads::hpccg::build(3, 2);
+        let r = run_rank0_with_fault(&w, OptLevel::O0, 99, 60)
+            .expect("a recoverable fault within 60 attempts");
+        assert!(r.recoveries >= 1);
+        assert!(r.recovery_ms > 1.0);
+
+        // Feed the real recovery time into the 512-rank virtual job.
+        let cfg = ClusterConfig { ranks: 128, timesteps: 40, ..ClusterConfig::default() };
+        let (base, runs) = figure10_experiment(&cfg, 10, &[(5, r.recovery_ms)]);
+        for run in &runs {
+            let rel = (run.makespan_ms - base.makespan_ms).abs() / base.makespan_ms;
+            assert!(rel < 0.02, "CARE-protected job must finish on time: {rel}");
+        }
+    }
+}

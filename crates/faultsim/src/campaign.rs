@@ -1,0 +1,417 @@
+//! Campaign orchestration: golden runs, per-injection classification, and
+//! the aggregate report that regenerates the paper's Tables 2–4, Figure 7,
+//! Figure 9 and the Appendix tables.
+
+use crate::injector::{
+    inject, pick_injection_point, FaultModel, InjectedInto, InjectionPoint,
+};
+use care::CompiledApp;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use safeguard::{run_protected, ProtectedExit, Safeguard};
+use simx::{ModuleId, Process, Profile, RunExit, TrapKind};
+use workloads::Workload;
+
+/// Hardware-trap symptom classes of Table 3.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Signal {
+    /// Invalid memory reference.
+    Segv,
+    /// Misaligned access.
+    Bus,
+    /// Failed assertion / abort.
+    Abort,
+    /// Anything else (SIGFPE, ...).
+    Other,
+}
+
+/// Injection outcome classes of Table 2.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// No observable effect: outputs bit-identical to the golden run.
+    Benign,
+    /// The process died on a hardware trap.
+    SoftFailure(Signal),
+    /// Completed but with corrupted outputs.
+    Sdc,
+    /// No progress within the instruction budget.
+    Hang,
+}
+
+/// CARE's verdict on one SIGSEGV-producing injection (Figure 7 / 9 data).
+#[derive(Clone, Debug)]
+pub struct CareResult {
+    /// True when the protected run completed with bit-clean outputs.
+    pub covered: bool,
+    /// Successful Safeguard activations.
+    pub recoveries: u64,
+    /// Total modelled recovery time.
+    pub recovery_ms: f64,
+    /// Decline reason when not covered.
+    pub decline: Option<String>,
+}
+
+/// Everything recorded about one injection.
+#[derive(Clone, Debug)]
+pub struct InjectionRecord {
+    /// Where and when the fault was injected.
+    pub point: InjectionPoint,
+    /// What the injector corrupted.
+    pub target: InjectedInto,
+    /// Unprotected-outcome classification.
+    pub outcome: Outcome,
+    /// Manifestation latency in dynamic instructions (soft failures only).
+    pub latency: Option<u64>,
+    /// CARE evaluation (SIGSEGV injections when enabled).
+    pub care: Option<CareResult>,
+}
+
+/// Campaign parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Number of injections (one per run, as in the paper).
+    pub injections: usize,
+    /// Single- or double-bit-flip model.
+    pub model: FaultModel,
+    /// RNG seed (campaigns are fully reproducible).
+    pub seed: u64,
+    /// Re-run SIGSEGV injections under Safeguard to measure coverage.
+    pub evaluate_care: bool,
+    /// Restrict injections to the executable module (§5 methodology);
+    /// `false` injects anywhere (§2 methodology).
+    pub app_only: bool,
+    /// Hang threshold: `fuel = golden_steps × hang_factor`.
+    pub hang_factor: u64,
+    /// Bound on Safeguard activations per run.
+    pub max_recoveries: u64,
+    /// Ablation: Safeguard patches the base register first.
+    pub patch_base_first: bool,
+    /// Ablation: disable the §5.2 address-equality guard.
+    pub skip_equality_guard: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            injections: 1000,
+            model: FaultModel::SingleBit,
+            seed: 0xCA2E,
+            evaluate_care: false,
+            app_only: false,
+            hang_factor: 20,
+            max_recoveries: 64,
+            patch_base_first: false,
+            skip_equality_guard: false,
+        }
+    }
+}
+
+/// A prepared campaign: compiled modules + golden data.
+pub struct Campaign {
+    exe: CompiledApp,
+    libs: Vec<CompiledApp>,
+    entry: String,
+    args: Vec<u64>,
+    outputs: Vec<(String, u64)>,
+    /// Golden output snapshots.
+    golden_outputs: Vec<Vec<u8>>,
+    /// Golden dynamic instruction count.
+    pub golden_steps: u64,
+    /// Execution-count profile from the golden run.
+    pub profile: Profile,
+}
+
+impl Campaign {
+    /// Compile-independent preparation: run the workload once fault-free
+    /// (with profiling) and snapshot its outputs.
+    pub fn prepare(workload: &Workload, exe: CompiledApp, libs: Vec<CompiledApp>) -> Campaign {
+        let mut p = build_process(&exe, &libs);
+        p.enable_profile();
+        p.start(workload.entry, &workload.args);
+        match p.run() {
+            RunExit::Done(_) => {}
+            other => panic!("golden run of {} failed: {other:?}", workload.name),
+        }
+        let golden_outputs = workload
+            .outputs
+            .iter()
+            .map(|(name, len)| {
+                p.snapshot_global(name, *len)
+                    .unwrap_or_else(|| panic!("output global {name} missing"))
+            })
+            .collect();
+        Campaign {
+            exe,
+            libs,
+            entry: workload.entry.to_string(),
+            args: workload.args.clone(),
+            outputs: workload.outputs.clone(),
+            golden_outputs,
+            golden_steps: p.steps,
+            profile: p.profile.take().expect("profile enabled"),
+        }
+    }
+
+    fn outputs_clean(&self, p: &Process) -> bool {
+        self.outputs
+            .iter()
+            .zip(&self.golden_outputs)
+            .all(|((name, len), golden)| {
+                p.snapshot_global(name, *len)
+                    .map(|bytes| &bytes == golden)
+                    .unwrap_or(false)
+            })
+    }
+
+    /// Run one injection (deterministic in `(cfg.seed, index)`).
+    pub fn run_one(&self, cfg: &CampaignConfig, index: usize) -> Option<InjectionRecord> {
+        let modules: Option<Vec<ModuleId>> = cfg.app_only.then(|| vec![ModuleId(0)]);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9e37));
+        // The paper's fault model corrupts *destination operands* (a
+        // register or memory cell); control transfers have neither, so they
+        // are not injection targets.
+        let mods: Vec<&simx::MachineModule> = std::iter::once(&self.exe.machine)
+            .chain(self.libs.iter().map(|l| &l.machine))
+            .collect();
+        let eligible = |m: usize, f: usize, i: usize| -> bool {
+            mods.get(m)
+                .and_then(|mm| mm.funcs.get(f))
+                .and_then(|mf| mf.instrs.get(i))
+                .map(|inst| !inst.is_control())
+                .unwrap_or(false)
+        };
+        let point =
+            pick_injection_point(&self.profile, &mut rng, modules.as_deref(), &eligible)?;
+
+        // --- unprotected run: raw manifestation (§2 methodology) ---------
+        let mut p = build_process(&self.exe, &self.libs);
+        p.fuel = self.golden_steps.saturating_mul(cfg.hang_factor).max(1_000_000);
+        p.start(&self.entry, &self.args);
+        p.break_at = Some((point.module, point.func, point.inst, point.nth));
+        match p.run() {
+            RunExit::BreakHit => {}
+            // The breakpoint is derived from the profile, so this is
+            // unreachable for deterministic programs; be safe anyway.
+            _ => return None,
+        }
+        let mut flip_rng = rng.clone();
+        let target = inject(&mut p, point, cfg.model, &mut flip_rng);
+        if target == InjectedInto::Skipped {
+            return None;
+        }
+        let steps_at_injection = p.steps;
+        let (outcome, latency) = match p.run() {
+            RunExit::Done(_) => {
+                if self.outputs_clean(&p) {
+                    (Outcome::Benign, None)
+                } else {
+                    (Outcome::Sdc, None)
+                }
+            }
+            RunExit::Trapped(t) => match t.kind {
+                TrapKind::OutOfFuel => (Outcome::Hang, None),
+                kind => (
+                    Outcome::SoftFailure(signal_of(kind)),
+                    Some(p.steps - steps_at_injection),
+                ),
+            },
+            RunExit::BreakHit => unreachable!("breakpoint already consumed"),
+        };
+
+        // --- protected re-run for SIGSEGV injections (§5 methodology) ----
+        let care = if cfg.evaluate_care && outcome == Outcome::SoftFailure(Signal::Segv) {
+            let mut p = build_process(&self.exe, &self.libs);
+            p.fuel = self.golden_steps.saturating_mul(cfg.hang_factor).max(1_000_000);
+            p.start(&self.entry, &self.args);
+            p.break_at = Some((point.module, point.func, point.inst, point.nth));
+            match p.run() {
+                RunExit::BreakHit => {}
+                _ => return None,
+            }
+            let mut flip_rng = rng.clone();
+            inject(&mut p, point, cfg.model, &mut flip_rng);
+            let mut sg = Safeguard::new();
+            sg.patch_base_first = cfg.patch_base_first;
+            sg.skip_equality_guard = cfg.skip_equality_guard;
+            sg.protect(ModuleId(0), &self.exe.armor);
+            for (i, lib) in self.libs.iter().enumerate() {
+                sg.protect(ModuleId(i as u32 + 1), &lib.armor);
+            }
+            Some(match run_protected(&mut p, &mut sg, cfg.max_recoveries) {
+                ProtectedExit::Completed { recoveries, recovery_ms, .. } => {
+                    let clean = self.outputs_clean(&p);
+                    CareResult {
+                        covered: clean && recoveries > 0,
+                        recoveries,
+                        recovery_ms,
+                        decline: None,
+                    }
+                }
+                ProtectedExit::Crashed { reason, recoveries, .. } => CareResult {
+                    covered: false,
+                    recoveries,
+                    recovery_ms: 0.0,
+                    decline: Some(format!("{reason:?}")),
+                },
+                ProtectedExit::Hung => CareResult {
+                    covered: false,
+                    recoveries: 0,
+                    recovery_ms: 0.0,
+                    decline: Some("Hang".into()),
+                },
+            })
+        } else {
+            None
+        };
+
+        Some(InjectionRecord { point, target, outcome, latency, care })
+    }
+
+    /// Run the full campaign (rayon-parallel across injections).
+    pub fn run(&self, cfg: &CampaignConfig) -> CampaignReport {
+        let records: Vec<InjectionRecord> = (0..cfg.injections)
+            .into_par_iter()
+            .filter_map(|i| self.run_one(cfg, i))
+            .collect();
+        CampaignReport::from_records(records)
+    }
+}
+
+fn build_process(exe: &CompiledApp, libs: &[CompiledApp]) -> Process {
+    Process::new(
+        exe.machine.clone(),
+        libs.iter().map(|l| l.machine.clone()).collect(),
+    )
+}
+
+fn signal_of(kind: TrapKind) -> Signal {
+    match kind {
+        TrapKind::Segv(_) => Signal::Segv,
+        TrapKind::Bus(_) => Signal::Bus,
+        TrapKind::Abort => Signal::Abort,
+        TrapKind::Fpe => Signal::Other,
+        TrapKind::OutOfFuel => Signal::Other,
+    }
+}
+
+/// Aggregated campaign results — the raw material for Tables 2, 3, 4, 10,
+/// 11 and Figures 7, 9, 12.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    /// Table 2 row.
+    pub benign: usize,
+    /// Table 2 row.
+    pub soft_failure: usize,
+    /// Table 2 row.
+    pub sdc: usize,
+    /// Table 2 row.
+    pub hang: usize,
+    /// Table 3 row: `[SIGSEGV, SIGBUS, SIGABRT, Other]`.
+    pub signals: [usize; 4],
+    /// Table 4 row: latency buckets `≤10, 11–50, 51–400, >400`.
+    pub latency_buckets: [usize; 4],
+    /// Figure 7: SIGSEGV injections evaluated under CARE.
+    pub care_evaluated: usize,
+    /// Figure 7: of those, recovered with clean output.
+    pub care_covered: usize,
+    /// Runs that completed after repair but with corrupted output: the
+    /// injected fault hit a value used both as an address (repaired
+    /// exactly) and as data (corrupted before CARE was ever involved).
+    /// These count as *not covered*; they are not repair-introduced SDCs.
+    pub care_survived_with_sdc: usize,
+    /// Figure 9: modelled recovery times (ms) of covered runs.
+    pub recovery_times_ms: Vec<f64>,
+    /// Safeguard activations across covered runs.
+    pub total_recoveries: u64,
+    /// Decline-reason histogram of uncovered runs.
+    pub declines: std::collections::HashMap<String, usize>,
+    /// All raw records.
+    pub records: Vec<InjectionRecord>,
+}
+
+impl CampaignReport {
+    /// Build the aggregate view from raw records.
+    pub fn from_records(records: Vec<InjectionRecord>) -> CampaignReport {
+        let mut r = CampaignReport::default();
+        for rec in &records {
+            match rec.outcome {
+                Outcome::Benign => r.benign += 1,
+                Outcome::Sdc => r.sdc += 1,
+                Outcome::Hang => r.hang += 1,
+                Outcome::SoftFailure(sig) => {
+                    r.soft_failure += 1;
+                    let si = match sig {
+                        Signal::Segv => 0,
+                        Signal::Bus => 1,
+                        Signal::Abort => 2,
+                        Signal::Other => 3,
+                    };
+                    r.signals[si] += 1;
+                    if let Some(lat) = rec.latency {
+                        let bi = match lat {
+                            0..=10 => 0,
+                            11..=50 => 1,
+                            51..=400 => 2,
+                            _ => 3,
+                        };
+                        r.latency_buckets[bi] += 1;
+                    }
+                }
+            }
+            if let Some(c) = &rec.care {
+                r.care_evaluated += 1;
+                if c.covered {
+                    r.care_covered += 1;
+                    r.recovery_times_ms.push(c.recovery_ms);
+                    r.total_recoveries += c.recoveries;
+                } else if let Some(d) = &c.decline {
+                    *r.declines.entry(d.clone()).or_default() += 1;
+                } else if c.recoveries > 0 {
+                    r.care_survived_with_sdc += 1;
+                }
+            }
+        }
+        r.records = records;
+        r
+    }
+
+    /// Total classified injections.
+    pub fn total(&self) -> usize {
+        self.benign + self.soft_failure + self.sdc + self.hang
+    }
+
+    /// Figure 7's coverage metric.
+    pub fn coverage(&self) -> f64 {
+        if self.care_evaluated == 0 {
+            0.0
+        } else {
+            self.care_covered as f64 / self.care_evaluated as f64
+        }
+    }
+
+    /// Mean modelled recovery time of covered runs (Figure 9).
+    pub fn mean_recovery_ms(&self) -> f64 {
+        if self.recovery_times_ms.is_empty() {
+            0.0
+        } else {
+            self.recovery_times_ms.iter().sum::<f64>() / self.recovery_times_ms.len() as f64
+        }
+    }
+
+    /// Fraction of soft failures manifesting within `n` dynamic
+    /// instructions (Table 4 analysis).
+    pub fn latency_fraction_within(&self, n: u64) -> f64 {
+        let total: usize = self.latency_buckets.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let within: usize = match n {
+            0..=10 => self.latency_buckets[0],
+            11..=50 => self.latency_buckets[..2].iter().sum(),
+            51..=400 => self.latency_buckets[..3].iter().sum(),
+            _ => total,
+        };
+        within as f64 / total as f64
+    }
+}

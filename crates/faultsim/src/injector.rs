@@ -1,0 +1,243 @@
+//! The fault injector: `(I, n)` selection from a Pin-style profile and
+//! bit-flips on destination operands.
+//!
+//! Methodology follows paper §2.1.1 and §5.1:
+//!
+//! * a profiling run counts executions of every static instruction;
+//! * a static instruction is drawn weighted by its execution count, and an
+//!   execution ordinal `n` uniformly within its count, approximating a
+//!   uniformly-random *dynamic* instruction;
+//! * the simulated ptrace-attach sets a breakpoint that stops **right after
+//!   the n-th execution**, then flips one (or two, Appendix A) bits in the
+//!   instruction's destination operand: the written register, the stored
+//!   memory cell, or the PC for control transfers.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simx::{DestRef, ModuleId, Process, Profile};
+use tinyir::mem::Memory;
+use tinyir::FuncId;
+
+/// Single- or double-bit-flip fault model (paper §2 / Appendix A).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultModel {
+    /// Flip one uniformly-chosen bit.
+    SingleBit,
+    /// Flip two distinct uniformly-chosen bits.
+    DoubleBit,
+}
+
+/// A chosen injection point: the `(I, n)` pair of §5.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectionPoint {
+    /// Module of the target instruction.
+    pub module: ModuleId,
+    /// Function of the target instruction.
+    pub func: FuncId,
+    /// Static instruction index.
+    pub inst: usize,
+    /// Stop after this many executions (1-based).
+    pub nth: u64,
+}
+
+/// Draw an injection point from a profile, optionally restricted to a set
+/// of modules (the §5 campaigns inject only into application code).
+pub fn pick_injection_point(
+    profile: &Profile,
+    rng: &mut SmallRng,
+    modules: Option<&[ModuleId]>,
+    eligible: &dyn Fn(usize, usize, usize) -> bool,
+) -> Option<InjectionPoint> {
+    let allowed = |m: usize| {
+        modules
+            .map(|ms| ms.iter().any(|mm| mm.0 as usize == m))
+            .unwrap_or(true)
+    };
+    let total: u64 = profile
+        .iter()
+        .enumerate()
+        .filter(|(m, _)| allowed(*m))
+        .flat_map(|(m, fs)| {
+            fs.iter().enumerate().flat_map(move |(f, is)| {
+                is.iter()
+                    .enumerate()
+                    .map(move |(i, &c)| if eligible(m, f, i) { c } else { 0 })
+            })
+        })
+        .sum();
+    if total == 0 {
+        return None;
+    }
+    let mut r = rng.gen_range(0..total);
+    for (m, fs) in profile.iter().enumerate() {
+        if !allowed(m) {
+            continue;
+        }
+        for (f, is) in fs.iter().enumerate() {
+            for (i, &c) in is.iter().enumerate() {
+                let c = if eligible(m, f, i) { c } else { 0 };
+                if r < c {
+                    let nth = rng.gen_range(1..=c);
+                    return Some(InjectionPoint {
+                        module: ModuleId(m as u32),
+                        func: FuncId(f as u32),
+                        inst: i,
+                        nth,
+                    });
+                }
+                r -= c;
+            }
+        }
+    }
+    None
+}
+
+/// Bits to flip for a destination of `width` bits under `model`.
+pub fn pick_bits(model: FaultModel, width: u32, rng: &mut SmallRng) -> Vec<u32> {
+    match model {
+        FaultModel::SingleBit => vec![rng.gen_range(0..width)],
+        FaultModel::DoubleBit => {
+            let a = rng.gen_range(0..width);
+            let mut b = rng.gen_range(0..width);
+            while b == a {
+                b = rng.gen_range(0..width);
+            }
+            vec![a, b]
+        }
+    }
+}
+
+/// What the injector actually corrupted (for post-hoc analysis).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InjectedInto {
+    /// A register (id).
+    Reg(u8),
+    /// A memory cell (address).
+    Mem(u64),
+    /// The program counter.
+    Pc,
+    /// The destination no longer existed (e.g. unmapped store target after
+    /// an earlier event) — injection skipped.
+    Skipped,
+}
+
+/// Flip bits in the destination operand of the instruction the process just
+/// executed (it must be stopped at a breakpoint hit on `point`). Returns
+/// where the fault landed.
+pub fn inject(
+    process: &mut Process,
+    point: InjectionPoint,
+    model: FaultModel,
+    rng: &mut SmallRng,
+) -> InjectedInto {
+    let lm = &process.image.modules[point.module.0 as usize];
+    let inst = lm.module.funcs[point.func.0 as usize].instrs[point.inst].clone();
+    let frame = process.frame().clone();
+    match process.dest_of(&inst, &frame) {
+        DestRef::Reg(r) => {
+            let bits = pick_bits(model, 64, rng);
+            let mut v = process.read_reg(r);
+            for b in bits {
+                v ^= 1u64 << b;
+            }
+            process.write_reg(r, v);
+            InjectedInto::Reg(r.0)
+        }
+        DestRef::Mem(addr, size) => {
+            let width = size as u32 * 8;
+            let bits = pick_bits(model, width, rng);
+            match process.mem.load(addr, size as u32) {
+                Ok(mut v) => {
+                    for b in bits {
+                        v ^= 1u64 << b;
+                    }
+                    let _ = process.mem.store(addr, size as u32, v);
+                    InjectedInto::Mem(addr)
+                }
+                Err(_) => InjectedInto::Skipped,
+            }
+        }
+        DestRef::Pc => {
+            // Flip low bits of the instruction index: small flips jump
+            // within the function (possible SDC), large ones fetch from
+            // nowhere (SIGSEGV on fetch).
+            let bits = pick_bits(model, 20, rng);
+            let mut idx = process.frame().idx as u64;
+            for b in bits {
+                idx ^= 1u64 << b;
+            }
+            process.frame_mut().idx = idx as usize;
+            InjectedInto::Pc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_selection_prefers_hot_instructions() {
+        // func 0: inst 0 executed 990 times, inst 1 executed 10 times.
+        let profile: Profile = vec![vec![vec![990, 10]]];
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut hot = 0;
+        for _ in 0..1000 {
+            let p = pick_injection_point(&profile, &mut rng, None, &|_, _, _| true).unwrap();
+            if p.inst == 0 {
+                hot += 1;
+            }
+            assert!(p.nth >= 1);
+            assert!(p.nth <= if p.inst == 0 { 990 } else { 10 });
+        }
+        assert!(hot > 930, "hot instruction should dominate: {hot}");
+    }
+
+    #[test]
+    fn module_filter_restricts_targets() {
+        let profile: Profile = vec![vec![vec![100]], vec![vec![100]]];
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p =
+                pick_injection_point(&profile, &mut rng, Some(&[ModuleId(0)]), &|_, _, _| true)
+                    .unwrap();
+            assert_eq!(p.module, ModuleId(0));
+        }
+    }
+
+    #[test]
+    fn empty_profile_yields_no_point() {
+        let profile: Profile = vec![vec![vec![0, 0]]];
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(pick_injection_point(&profile, &mut rng, None, &|_, _, _| true).is_none());
+    }
+
+    #[test]
+    fn bit_pickers_respect_model_and_width() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = pick_bits(FaultModel::SingleBit, 32, &mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(s[0] < 32);
+            let d = pick_bits(FaultModel::DoubleBit, 8, &mut rng);
+            assert_eq!(d.len(), 2);
+            assert_ne!(d[0], d[1]);
+            assert!(d.iter().all(|&b| b < 8));
+        }
+    }
+
+    #[test]
+    fn double_flip_is_involution() {
+        // Flipping the same two bits twice restores the value — a sanity
+        // property of the injector's XOR mechanics.
+        let mut v = 0xdead_beef_u64;
+        for b in [3u32, 17] {
+            v ^= 1 << b;
+        }
+        for b in [3u32, 17] {
+            v ^= 1 << b;
+        }
+        assert_eq!(v, 0xdead_beef);
+    }
+}

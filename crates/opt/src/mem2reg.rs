@@ -1,0 +1,403 @@
+//! Promotion of stack slots to SSA registers (LLVM's `mem2reg`).
+//!
+//! This is the pass that creates the paper's `-O0` vs `-O1` behavioural
+//! split for CARE:
+//!
+//! * under `-O0` every local lives in a stack slot, so its value is always
+//!   retrievable from memory at recovery time;
+//! * after promotion, induction variables and accumulators become SSA values
+//!   that the backend keeps in registers and updates **in place** — if a
+//!   fault corrupts one of those registers, Safeguard fetches the corrupted
+//!   value as a kernel parameter and recovery fails (paper §5.2/§5.6:
+//!   HPCCG's 35 % coverage drop at `-O1`);
+//! * conversely, promotion deletes the redundant store/load pairs of
+//!   Figure 8 case 2, *extending* recovery-kernel coverage scope (miniMD's
+//!   +7 %).
+
+use analysis::{Cfg, DomTree};
+use std::collections::{HashMap, HashSet};
+use tinyir::{BlockId, Function, Instr, InstrId, InstrKind, Module, Ty, Value};
+
+/// Run mem2reg on every defined function. Returns the number of promoted
+/// allocas.
+pub fn run(module: &mut Module) -> usize {
+    let mut promoted = 0;
+    for f in &mut module.funcs {
+        if !f.is_decl {
+            promoted += promote_function(f);
+        }
+    }
+    promoted
+}
+
+/// Compute dominance frontiers from a dominator tree.
+fn dominance_frontiers(cfg: &Cfg, dt: &DomTree) -> Vec<HashSet<BlockId>> {
+    let n = cfg.len();
+    let mut df: Vec<HashSet<BlockId>> = vec![HashSet::new(); n];
+    for b in 0..n {
+        let bid = BlockId(b as u32);
+        if cfg.preds[b].len() < 2 {
+            continue;
+        }
+        let Some(idom_b) = dt.idom[b] else { continue };
+        for &p in &cfg.preds[b] {
+            let mut runner = p;
+            while runner != idom_b {
+                df[runner.0 as usize].insert(bid);
+                match dt.idom[runner.0 as usize] {
+                    Some(next) => runner = next,
+                    None => break,
+                }
+            }
+        }
+    }
+    df
+}
+
+/// Is this alloca promotable? Scalar (count == 1), and used only as the
+/// direct pointer of loads/stores (never stored *as a value*, passed to a
+/// call, or offset by a gep).
+fn promotable(f: &Function, alloca: InstrId) -> bool {
+    let InstrKind::Alloca { count, .. } = f.instr(alloca).kind else {
+        return false;
+    };
+    if count != 1 {
+        return false;
+    }
+    for (_, block) in f.block_iter() {
+        for &iid in &block.instrs {
+            let instr = f.instr(iid);
+            for v in instr.operands() {
+                if v != Value::Instr(alloca) {
+                    continue;
+                }
+                match &instr.kind {
+                    InstrKind::Load { ptr, .. } if *ptr == v => {}
+                    InstrKind::Store { ptr, val } if *ptr == v && *val != v => {}
+                    _ => return false,
+                }
+            }
+        }
+    }
+    true
+}
+
+fn promote_function(f: &mut Function) -> usize {
+    let cfg = Cfg::new(f);
+    let dt = DomTree::new(&cfg);
+    let df = dominance_frontiers(&cfg, &dt);
+
+    let allocas: Vec<InstrId> = f
+        .instrs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, ins)| {
+            matches!(ins.kind, InstrKind::Alloca { .. }).then_some(InstrId(i as u32))
+        })
+        .filter(|&a| {
+            // Must still be block-resident (not already removed).
+            f.block_iter().any(|(_, b)| b.instrs.contains(&a))
+        })
+        .filter(|&a| promotable(f, a))
+        .collect();
+    if allocas.is_empty() {
+        return 0;
+    }
+    let alloca_set: HashSet<InstrId> = allocas.iter().copied().collect();
+    let elem_ty: HashMap<InstrId, Ty> = allocas
+        .iter()
+        .map(|&a| match f.instr(a).kind {
+            InstrKind::Alloca { elem_ty, .. } => (a, elem_ty),
+            _ => unreachable!(),
+        })
+        .collect();
+
+    // -- phi insertion at iterated dominance frontiers ----------------------
+    // phi_for[(block, alloca)] = phi instr id
+    let mut phi_for: HashMap<(BlockId, InstrId), InstrId> = HashMap::new();
+    let owner = f.instr_blocks();
+    for &a in &allocas {
+        let mut def_blocks: Vec<BlockId> = Vec::new();
+        for (bid, block) in f.block_iter() {
+            for &iid in &block.instrs {
+                if let InstrKind::Store { ptr, .. } = &f.instr(iid).kind {
+                    if *ptr == Value::Instr(a) {
+                        def_blocks.push(bid);
+                    }
+                }
+            }
+        }
+        let mut work: Vec<BlockId> = def_blocks.clone();
+        let mut has_phi: HashSet<BlockId> = HashSet::new();
+        while let Some(b) = work.pop() {
+            for &y in &df[b.0 as usize] {
+                if has_phi.insert(y) {
+                    // Create an empty phi; incomings filled during renaming.
+                    let loc = f.instr(a).loc;
+                    let id = InstrId(f.instrs.len() as u32);
+                    f.instrs.push(Instr {
+                        kind: InstrKind::Phi { incomings: vec![], ty: elem_ty[&a] },
+                        loc,
+                    });
+                    f.blocks[y.0 as usize].instrs.insert(0, id);
+                    phi_for.insert((y, a), id);
+                    work.push(y);
+                }
+            }
+        }
+    }
+    let _ = owner;
+
+    // -- renaming over the dominator tree -----------------------------------
+    let mut replacement: HashMap<InstrId, Value> = HashMap::new(); // load -> value
+    let mut to_remove: HashSet<InstrId> = HashSet::new();
+    let mut stacks: HashMap<InstrId, Vec<Value>> = allocas
+        .iter()
+        .map(|&a| {
+            // Uninitialised reads yield a zero of the right type, matching
+            // the zero-filled simulated stack.
+            let zero = match elem_ty[&a] {
+                Ty::F32 => Value::ConstFloat(0.0, Ty::F32),
+                Ty::F64 => Value::ConstFloat(0.0, Ty::F64),
+                Ty::Ptr => Value::ConstNull,
+                t => Value::ConstInt(0, t),
+            };
+            (a, vec![zero])
+        })
+        .collect();
+
+    // Dominator-tree children.
+    let mut dom_children: Vec<Vec<BlockId>> = vec![Vec::new(); cfg.len()];
+    for b in 0..cfg.len() {
+        if let Some(p) = dt.idom[b] {
+            dom_children[p.0 as usize].push(BlockId(b as u32));
+        }
+    }
+
+    // Iterative DFS carrying push counts for stack unwinding.
+    enum Step {
+        Visit(BlockId),
+        Unwind(Vec<(InstrId, usize)>),
+    }
+    let mut stack = vec![Step::Visit(f.entry())];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Unwind(pops) => {
+                for (a, n) in pops {
+                    let s = stacks.get_mut(&a).unwrap();
+                    s.truncate(s.len() - n);
+                }
+            }
+            Step::Visit(b) => {
+                let mut pushes: HashMap<InstrId, usize> = HashMap::new();
+                // Phis inserted for allocas at this block head define values.
+                let block_instrs = f.blocks[b.0 as usize].instrs.clone();
+                for &iid in &block_instrs {
+                    if let Some((_, a)) = phi_for
+                        .iter()
+                        .find(|((bb, _), &pid)| *bb == b && pid == iid)
+                        .map(|(k, _)| *k)
+                    {
+                        stacks.get_mut(&a).unwrap().push(Value::Instr(iid));
+                        *pushes.entry(a).or_default() += 1;
+                    }
+                }
+                for &iid in &block_instrs {
+                    match f.instr(iid).kind.clone() {
+                        InstrKind::Load { ptr: Value::Instr(a), .. }
+                            if alloca_set.contains(&a) =>
+                        {
+                            let cur = *stacks[&a].last().unwrap();
+                            replacement.insert(iid, cur);
+                            to_remove.insert(iid);
+                        }
+                        InstrKind::Store { ptr: Value::Instr(a), val }
+                            if alloca_set.contains(&a) =>
+                        {
+                            stacks.get_mut(&a).unwrap().push(val);
+                            *pushes.entry(a).or_default() += 1;
+                            to_remove.insert(iid);
+                        }
+                        _ => {}
+                    }
+                }
+                // Fill successor phis.
+                for &s in &cfg.succs[b.0 as usize] {
+                    for (&(bb, a), &pid) in &phi_for {
+                        if bb != s {
+                            continue;
+                        }
+                        let cur = *stacks[&a].last().unwrap();
+                        if let InstrKind::Phi { incomings, .. } = &mut f.instr_mut(pid).kind {
+                            incomings.push((b, cur));
+                        }
+                    }
+                }
+                stack.push(Step::Unwind(pushes.into_iter().collect()));
+                for &c in dom_children[b.0 as usize].iter().rev() {
+                    stack.push(Step::Visit(c));
+                }
+            }
+        }
+    }
+
+    // -- apply replacements (resolving chains) -------------------------------
+    let resolve = |mut v: Value| -> Value {
+        let mut guard = 0;
+        while let Value::Instr(id) = v {
+            match replacement.get(&id) {
+                Some(&next) => {
+                    v = next;
+                    guard += 1;
+                    assert!(guard < 1_000_000, "replacement cycle");
+                }
+                None => break,
+            }
+        }
+        v
+    };
+    for instr in &mut f.instrs {
+        instr.map_operands(resolve);
+    }
+
+    // -- delete promoted instructions ----------------------------------------
+    for &a in &allocas {
+        to_remove.insert(a);
+    }
+    for block in &mut f.blocks {
+        block.instrs.retain(|i| !to_remove.contains(i));
+    }
+    allocas.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyir::builder::ModuleBuilder;
+    use tinyir::interp::{layout_globals, Interp};
+    use tinyir::mem::PagedMemory;
+    use tinyir::verify::verify_module;
+
+    fn run_fn(m: &Module, name: &str, args: &[u64]) -> Option<u64> {
+        let mut mem = PagedMemory::new();
+        let globals = layout_globals(m, &mut mem, 0x1000_0000);
+        let mut i = Interp::new(
+            m,
+            &mut mem,
+            &globals,
+            0x7f00_0000_0000,
+            0x7f00_0100_0000,
+            0x6000_0000_0000,
+            1_000_000_000,
+        );
+        i.call(m.func_by_name(name).unwrap(), args).unwrap()
+    }
+
+    fn accumulator_module() -> Module {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define("sumsq", vec![Ty::I64], Some(Ty::I64), |fb| {
+            let acc = fb.alloca(Ty::I64, 1);
+            fb.store(Value::i64(0), acc);
+            fb.for_loop(Value::i64(0), fb.arg(0), |fb, iv| {
+                let sq = fb.mul(iv, iv, Ty::I64);
+                let a = fb.load(acc, Ty::I64);
+                let s = fb.add(a, sq, Ty::I64);
+                fb.store(s, acc);
+            });
+            let r = fb.load(acc, Ty::I64);
+            fb.ret(Some(r));
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn promotes_accumulator_and_preserves_semantics() {
+        let mut m = accumulator_module();
+        let before = run_fn(&m, "sumsq", &[10]);
+        let n = run(&mut m);
+        assert_eq!(n, 1, "one alloca promoted");
+        verify_module(&m).unwrap();
+        let after = run_fn(&m, "sumsq", &[10]);
+        assert_eq!(before, after);
+        // No loads/stores remain: the accumulator is pure SSA now.
+        assert_eq!(m.funcs[0].mem_access_instrs().len(), 0);
+        // A new phi must exist in the loop header (accumulator) besides the
+        // induction variable phi.
+        let phis = m.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|&&i| matches!(m.funcs[0].instr(i).kind, InstrKind::Phi { .. }))
+            .count();
+        assert_eq!(phis, 2);
+    }
+
+    #[test]
+    fn diamond_gets_join_phi() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define("absv", vec![Ty::I64], Some(Ty::I64), |fb| {
+            let out = fb.alloca(Ty::I64, 1);
+            let neg = fb.icmp(tinyir::ICmp::Slt, fb.arg(0), Value::i64(0));
+            fb.if_then_else(
+                neg,
+                |fb| {
+                    let n = fb.sub(Value::i64(0), fb.arg(0), Ty::I64);
+                    fb.store(n, out);
+                },
+                |fb| fb.store(fb.arg(0), out),
+            );
+            let r = fb.load(out, Ty::I64);
+            fb.ret(Some(r));
+        });
+        let mut m = mb.finish();
+        assert_eq!(run_fn(&m, "absv", &[(-5i64) as u64]), Some(5));
+        run(&mut m);
+        verify_module(&m).unwrap();
+        assert_eq!(run_fn(&m, "absv", &[(-5i64) as u64]), Some(5));
+        assert_eq!(run_fn(&m, "absv", &[7]), Some(7));
+        assert_eq!(m.funcs[0].mem_access_instrs().len(), 0);
+    }
+
+    #[test]
+    fn escaped_allocas_are_not_promoted() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        let callee = mb.declare("esc", vec![Ty::Ptr], None);
+        mb.define("escuser", vec![], Some(Ty::I64), |fb| {
+            let slot = fb.alloca(Ty::I64, 1);
+            fb.store(Value::i64(3), slot);
+            fb.call(callee, vec![slot]);
+            let r = fb.load(slot, Ty::I64);
+            fb.ret(Some(r));
+        });
+        let mut m = mb.finish();
+        assert_eq!(run(&mut m), 0, "escaped alloca must stay in memory");
+    }
+
+    #[test]
+    fn array_allocas_are_not_promoted() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define("arr", vec![], Some(Ty::I64), |fb| {
+            let a = fb.alloca(Ty::I64, 8);
+            fb.store_elem(Value::i64(9), a, Value::i64(2), Ty::I64);
+            let r = fb.load_elem(a, Value::i64(2), Ty::I64);
+            fb.ret(Some(r));
+        });
+        let mut m = mb.finish();
+        assert_eq!(run(&mut m), 0);
+        assert_eq!(run_fn(&m, "arr", &[]), Some(9));
+    }
+
+    #[test]
+    fn uninitialised_read_becomes_zero() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define("uninit", vec![], Some(Ty::I64), |fb| {
+            let slot = fb.alloca(Ty::I64, 1);
+            let r = fb.load(slot, Ty::I64);
+            fb.ret(Some(r));
+        });
+        let mut m = mb.finish();
+        run(&mut m);
+        verify_module(&m).unwrap();
+        assert_eq!(run_fn(&m, "uninit", &[]), Some(0));
+    }
+}

@@ -1,0 +1,232 @@
+//! The protected-execution driver: run a SimISA process, routing every trap
+//! through Safeguard, until completion or an unrecoverable failure.
+//!
+//! This is the analogue of the kernel delivering `SIGSEGV` to the
+//! `LD_PRELOAD`ed handler and either `sigreturn`ing into the patched context
+//! or falling through to the default action (process death).
+
+use crate::runtime::{DeclineReason, RecoveryOutcome, Safeguard};
+use simx::{Process, RunExit, Trap, TrapKind};
+
+/// Final outcome of a protected run.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ProtectedExit {
+    /// The program completed (possibly after recoveries).
+    Completed {
+        /// Raw-bit return value of the start function.
+        result: Option<u64>,
+        /// Number of successful recoveries along the way.
+        recoveries: u64,
+        /// Total modelled recovery time.
+        recovery_ms: f64,
+    },
+    /// The program died on an unrecoverable trap.
+    Crashed {
+        /// The fatal trap.
+        trap: Trap,
+        /// Why Safeguard declined.
+        reason: DeclineReason,
+        /// Recoveries that *did* succeed before the fatal one.
+        recoveries: u64,
+    },
+    /// Instruction budget exhausted (hang).
+    Hung,
+}
+
+/// Run `process` to completion under `safeguard`'s protection.
+///
+/// `max_recoveries` bounds the number of repairs (a single injected fault
+/// can legitimately require several activations — §5.3 — but a runaway
+/// repair loop means something is structurally wrong).
+pub fn run_protected(
+    process: &mut Process,
+    safeguard: &mut Safeguard,
+    max_recoveries: u64,
+) -> ProtectedExit {
+    let mut recoveries = 0u64;
+    let mut recovery_ms = 0.0f64;
+    loop {
+        match process.run() {
+            RunExit::Done(result) => {
+                return ProtectedExit::Completed { result, recoveries, recovery_ms }
+            }
+            RunExit::BreakHit => continue, // injector breakpoints are consumed upstream
+            RunExit::Trapped(trap) => {
+                if trap.kind == TrapKind::OutOfFuel {
+                    return ProtectedExit::Hung;
+                }
+                if recoveries >= max_recoveries {
+                    return ProtectedExit::Crashed {
+                        trap,
+                        reason: DeclineReason::SameAddress,
+                        recoveries,
+                    };
+                }
+                match safeguard.handle_trap(process, trap) {
+                    RecoveryOutcome::Recovered { time } => {
+                        recoveries += 1;
+                        recovery_ms += time.total_ms();
+                        // resume: loop re-enters run() at the faulting PC
+                    }
+                    RecoveryOutcome::NotRecovered(reason) => {
+                        return ProtectedExit::Crashed { trap, reason, recoveries }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armor::run_armor;
+    use simx::{compile_module, DestRef, ModuleId, Process};
+    use tinyir::builder::ModuleBuilder;
+    use tinyir::{Ty, Value};
+
+    /// End-to-end: compile an app with Armor + DIEs, corrupt an index
+    /// register mid-run, and watch Safeguard repair it.
+    #[test]
+    fn recovers_corrupted_index_register() {
+        // sum = Σ table[i*2 + 1] for i in 0..n — a real address computation.
+        let mut mb = ModuleBuilder::new("app", "app.c");
+        let table = mb.global_init(
+            "table",
+            Ty::I64,
+            64,
+            tinyir::GlobalInit::I64s((0..64).collect()),
+        );
+        mb.define("main", vec![Ty::I64], Some(Ty::I64), |fb| {
+            let acc = fb.alloca(Ty::I64, 1);
+            fb.store(Value::i64(0), acc);
+            fb.for_loop(Value::i64(0), fb.arg(0), |fb, iv| {
+                let i2 = fb.mul(iv, Value::i64(2), Ty::I64);
+                let idx = fb.add(i2, Value::i64(1), Ty::I64);
+                let v = fb.load_elem(fb.global(table), idx, Ty::I64);
+                let a = fb.load(acc, Ty::I64);
+                let s = fb.add(a, v, Ty::I64);
+                fb.store(s, acc);
+            });
+            let r = fb.load(acc, Ty::I64);
+            fb.ret(Some(r));
+        });
+        let mut m = mb.finish();
+        opt::optimize(&mut m, opt::OptLevel::O1);
+        let armor_out = run_armor(&m);
+        assert!(armor_out.stats.num_kernels >= 1);
+        let mm = compile_module(&m, true, &armor_out.die_requests);
+
+        let expected: i64 = (0..10).map(|i| i * 2 + 1).sum();
+
+        // Fault-free baseline.
+        let mut p = Process::new(mm.clone(), vec![]);
+        p.start("main", &[10]);
+        let mut sg = Safeguard::new();
+        sg.protect(ModuleId(0), &armor_out);
+        match run_protected(&mut p, &mut sg, 16) {
+            ProtectedExit::Completed { result, recoveries, .. } => {
+                assert_eq!(result, Some(expected as u64));
+                assert_eq!(recoveries, 0);
+            }
+            other => panic!("baseline failed: {other:?}"),
+        }
+
+        // Now corrupt: break right after the table load executes its 4th
+        // iteration, then smash the register holding the index.
+        let fid = mm.func_by_name("main").unwrap();
+        let (load_idx, mem_op) = mm.funcs[fid.0 as usize]
+            .instrs
+            .iter()
+            .enumerate()
+            .find_map(|(i, inst)| {
+                // The load may have folded CISC-style into its consumer;
+                // search any instruction with an indexed memory operand
+                // that is not a frame-slot access.
+                inst.mem_operand()
+                    .filter(|mo| mo.index.is_some() && mo.base != Some(simx::FP))
+                    .map(|mo| (i, *mo))
+            })
+            .expect("indexed memory operand in machine code");
+        // The index register is redefined every iteration, so a flip must
+        // land in the window between its definition (the `add`) and its use
+        // (the folded load): break right after the defining instruction.
+        let idx_reg = mem_op.index.unwrap();
+        let def_idx = mm.funcs[fid.0 as usize].instrs[..load_idx]
+            .iter()
+            .rposition(|inst| inst.dest_reg() == Some(idx_reg))
+            .expect("defining instruction of the index register");
+        let mut p = Process::new(mm, vec![]);
+        p.start("main", &[10]);
+        p.break_at = Some((ModuleId(0), fid, def_idx, 4));
+        assert_eq!(p.run(), RunExit::BreakHit);
+        // Corrupt the just-written index register with a high bit flip.
+        let old = p.read_reg(idx_reg);
+        p.write_reg(idx_reg, old ^ (1 << 40));
+        let mut sg = Safeguard::new();
+        sg.protect(ModuleId(0), &armor_out);
+        match run_protected(&mut p, &mut sg, 16) {
+            ProtectedExit::Completed { result, recoveries, recovery_ms } => {
+                assert_eq!(result, Some(expected as u64), "output must be exact");
+                assert!(recoveries >= 1, "at least one repair");
+                assert!(recovery_ms > 1.0, "modelled recovery time accrues");
+            }
+            other => panic!("recovery failed: {other:?}"),
+        }
+        assert_eq!(sg.stats.recovered, sg.stats.activations);
+        let _ = DestRef::Pc;
+    }
+
+    /// A genuine program bug (out-of-bounds by construction) must be
+    /// declined by the same-address guard and crash, not silently
+    /// "repaired" (paper footnote 2).
+    #[test]
+    fn genuine_bug_is_not_masked() {
+        let mut mb = ModuleBuilder::new("app", "app.c");
+        let g = mb.global_zeroed("arr", Ty::I64, 8);
+        mb.define("main", vec![Ty::I64], Some(Ty::I64), |fb| {
+            // idx = n * 1000 — legitimately out of range for n >= 1.
+            let idx = fb.mul(fb.arg(0), Value::i64(1000), Ty::I64);
+            let v = fb.load_elem(fb.global(g), idx, Ty::I64);
+            fb.ret(Some(v));
+        });
+        let m = mb.finish();
+        let armor_out = run_armor(&m);
+        let mm = compile_module(&m, false, &armor_out.die_requests);
+        let mut p = Process::new(mm, vec![]);
+        p.start("main", &[5]);
+        let mut sg = Safeguard::new();
+        sg.protect(ModuleId(0), &armor_out);
+        match run_protected(&mut p, &mut sg, 16) {
+            ProtectedExit::Crashed { reason, recoveries, .. } => {
+                assert_eq!(reason, DeclineReason::SameAddress);
+                assert_eq!(recoveries, 0);
+            }
+            other => panic!("bug must crash: {other:?}"),
+        }
+    }
+
+    /// Faults in an unprotected signal class (SIGFPE) propagate.
+    #[test]
+    fn non_segv_traps_propagate() {
+        let mut mb = ModuleBuilder::new("app", "app.c");
+        mb.define("main", vec![Ty::I64], Some(Ty::I64), |fb| {
+            let q = fb.sdiv(Value::i64(100), fb.arg(0), Ty::I64);
+            fb.ret(Some(q));
+        });
+        let m = mb.finish();
+        let armor_out = run_armor(&m);
+        let mm = compile_module(&m, false, &[]);
+        let mut p = Process::new(mm, vec![]);
+        p.start("main", &[0]);
+        let mut sg = Safeguard::new();
+        sg.protect(ModuleId(0), &armor_out);
+        match run_protected(&mut p, &mut sg, 4) {
+            ProtectedExit::Crashed { trap, reason, .. } => {
+                assert_eq!(trap.kind, TrapKind::Fpe);
+                assert_eq!(reason, DeclineReason::NotASegv);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

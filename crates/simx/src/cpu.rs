@@ -1,0 +1,557 @@
+//! The SimISA execution engine: a simulated process with frames, registers,
+//! paged memory, traps, breakpoints and per-instruction profiling.
+//!
+//! Traps freeze the machine state exactly like a POSIX signal: the program
+//! counter still points at the faulting instruction and every register holds
+//! its pre-fault value, so a handler (Safeguard) can inspect the state,
+//! patch a register and resume — re-executing the faulting instruction —
+//! precisely the `ucontext_t` dance of the paper's runtime.
+
+use crate::image::{
+    LoadedModule, MachineModule, ModuleId, ProcessImage, DATA_BASE, EXE_BASE, HEAP_BASE,
+    LIB_BASE, STACK_SIZE, STACK_TOP,
+};
+use crate::isa::{MInst, MemOp, Reg, Src, FP, NUM_REGS, SP};
+use tinyir::interp::{eval_bin, eval_cast, eval_fcmp, eval_icmp, float_of_bits, sext_bits};
+use tinyir::mem::{MemFault, Memory, PagedMemory, PAGE_SIZE};
+use tinyir::{FuncId, Intrinsic, Ty};
+
+/// Why the machine stopped.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum TrapKind {
+    /// Invalid memory reference (`SIGSEGV`) at the given address.
+    Segv(u64),
+    /// Misaligned access (`SIGBUS`) at the given address.
+    Bus(u64),
+    /// Integer division error (`SIGFPE`).
+    Fpe,
+    /// `abort()` / failed assertion (`SIGABRT`).
+    Abort,
+    /// Instruction budget exhausted (classified as a hang).
+    OutOfFuel,
+}
+
+/// A trap: the signal-like kind plus the faulting PC.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Trap {
+    /// What happened.
+    pub kind: TrapKind,
+    /// Absolute PC of the faulting instruction.
+    pub pc: u64,
+}
+
+/// Result of [`Process::run`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum RunExit {
+    /// The start function returned (with its raw-bit result).
+    Done(Option<u64>),
+    /// A trap occurred; machine state is frozen at the faulting instruction.
+    Trapped(Trap),
+    /// The breakpoint count was exhausted right after executing the target
+    /// instruction.
+    BreakHit,
+}
+
+/// What the last executed instruction wrote — the fault-injection
+/// "destination operand" (paper §2.1.1).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum DestRef {
+    /// A register of the current frame.
+    Reg(Reg),
+    /// A memory cell (address + size) — destinations of stores.
+    Mem(u64, u8),
+    /// The program counter — destinations of control transfers.
+    Pc,
+}
+
+/// One call frame: private register file (the calling convention saves and
+/// restores all registers across calls) plus incoming arguments.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Module of the executing function.
+    pub module: ModuleId,
+    /// Function id within the module.
+    pub func: FuncId,
+    /// Index of the next instruction to execute.
+    pub idx: usize,
+    /// Register file (raw bits; float registers are `16..32`).
+    pub regs: [u64; NUM_REGS],
+    /// Incoming arguments.
+    pub args: Vec<u64>,
+    /// Frame base (FP value).
+    pub fp: u64,
+    /// Caller register that receives the return value.
+    pub ret_dst: Option<Reg>,
+    /// Stack pointer to restore on return.
+    pub saved_sp: u64,
+}
+
+/// Per-static-instruction execution counts, indexed `[module][func][inst]` —
+/// the Pin-style profile the campaign's `(I, n)` sampling is built on.
+pub type Profile = Vec<Vec<Vec<u64>>>;
+
+/// A simulated process: image + memory + frames.
+#[derive(Clone)]
+pub struct Process {
+    /// Loaded modules and symbol resolution.
+    pub image: ProcessImage,
+    /// The paged address space.
+    pub mem: PagedMemory,
+    /// Call stack (last = current frame).
+    pub frames: Vec<Frame>,
+    /// Current stack pointer (grows downward).
+    pub sp: u64,
+    /// Heap bump pointer.
+    pub heap_ptr: u64,
+    /// Remaining instruction budget.
+    pub fuel: u64,
+    /// Dynamic instructions executed.
+    pub steps: u64,
+    /// Optional execution-count profile.
+    pub profile: Option<Profile>,
+    /// Breakpoint: stop right *after* the `n`-th execution of the
+    /// instruction at `(module, func, idx)`.
+    pub break_at: Option<(ModuleId, FuncId, usize, u64)>,
+    /// Number of traps delivered so far (recovery attempts observe this).
+    pub trap_count: u64,
+}
+
+impl Process {
+    /// Build a process from an executable and a set of shared libraries.
+    /// Maps and initialises each module's globals and the stack.
+    pub fn new(exe: MachineModule, libs: Vec<MachineModule>) -> Process {
+        let mut mem = PagedMemory::new();
+        let mut image = ProcessImage::default();
+        let mut data_base = DATA_BASE;
+        let mut code_base = EXE_BASE;
+        let n = 1 + libs.len();
+        for (i, module) in std::iter::once(exe).chain(libs).enumerate() {
+            let global_addrs =
+                tinyir::interp::layout_globals(&module.ir, &mut mem, data_base);
+            data_base = global_addrs
+                .last()
+                .map(|&a| a + 0x0800_0000)
+                .unwrap_or(data_base + 0x0800_0000);
+            image.push_module(LoadedModule {
+                base: code_base,
+                module,
+                global_addrs,
+                is_shared: i > 0,
+            });
+            code_base = if i == 0 { LIB_BASE } else { code_base + 0x0100_0000 };
+        }
+        let _ = n;
+        image.link();
+        // Map the stack eagerly (its pages never fault; corrupted in-stack
+        // addresses corrupt data instead, like a real contiguous stack).
+        mem.map_region(STACK_TOP - STACK_SIZE, STACK_SIZE);
+        Process {
+            image,
+            mem,
+            frames: Vec::new(),
+            sp: STACK_TOP,
+            heap_ptr: HEAP_BASE,
+            fuel: u64::MAX,
+            steps: 0,
+            profile: None,
+            break_at: None,
+            trap_count: 0,
+        }
+    }
+
+    /// Enable profiling (zeroed counts for every static instruction).
+    pub fn enable_profile(&mut self) {
+        self.profile = Some(
+            self.image
+                .modules
+                .iter()
+                .map(|lm| {
+                    lm.module
+                        .funcs
+                        .iter()
+                        .map(|f| vec![0u64; f.instrs.len()])
+                        .collect()
+                })
+                .collect(),
+        );
+    }
+
+    /// Push the initial frame for `func_name` in the executable module.
+    pub fn start(&mut self, func_name: &str, args: &[u64]) {
+        let fid = self.image.modules[0]
+            .module
+            .func_by_name(func_name)
+            .unwrap_or_else(|| panic!("no function {func_name}"));
+        self.push_frame(ModuleId(0), fid, args.to_vec(), None)
+            .expect("initial frame");
+    }
+
+    fn push_frame(
+        &mut self,
+        module: ModuleId,
+        func: FuncId,
+        args: Vec<u64>,
+        ret_dst: Option<Reg>,
+    ) -> Result<(), Trap> {
+        let (module, func) = self.image.resolve(module, func).ok_or(Trap {
+            kind: TrapKind::Segv(0), // unresolved PLT entry: jump to nowhere
+            pc: 0,
+        })?;
+        let mf = &self.image.modules[module.0 as usize].module.funcs[func.0 as usize];
+        let frame_size = (mf.frame_size + 15) & !15;
+        let saved_sp = self.sp;
+        let new_sp = self.sp.checked_sub(frame_size + 64).ok_or(Trap {
+            kind: TrapKind::Segv(0),
+            pc: 0,
+        })?;
+        if new_sp < STACK_TOP - STACK_SIZE {
+            // Stack overflow hits the guard page.
+            return Err(Trap { kind: TrapKind::Segv(new_sp), pc: self.pc() });
+        }
+        self.sp = new_sp;
+        let mut regs = [0u64; NUM_REGS];
+        regs[FP.0 as usize] = new_sp;
+        regs[SP.0 as usize] = new_sp;
+        self.frames.push(Frame {
+            module,
+            func,
+            idx: 0,
+            regs,
+            args,
+            fp: new_sp,
+            ret_dst,
+            saved_sp,
+        });
+        Ok(())
+    }
+
+    /// Absolute PC of the instruction about to execute (or just trapped).
+    pub fn pc(&self) -> u64 {
+        match self.frames.last() {
+            Some(f) => self.image.addr_of(f.module, f.func, f.idx),
+            None => 0,
+        }
+    }
+
+    /// Current frame (panics if the process has not started).
+    pub fn frame(&self) -> &Frame {
+        self.frames.last().expect("no frame")
+    }
+
+    /// Mutable current frame.
+    pub fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("no frame")
+    }
+
+    /// Read a register of the current frame.
+    pub fn read_reg(&self, r: Reg) -> u64 {
+        self.frame().regs[r.0 as usize]
+    }
+
+    /// Write a register of the current frame.
+    pub fn write_reg(&mut self, r: Reg, v: u64) {
+        self.frame_mut().regs[r.0 as usize] = v;
+    }
+
+    /// The instruction the PC points at.
+    pub fn current_inst(&self) -> Option<&MInst> {
+        let f = self.frames.last()?;
+        self.image.modules[f.module.0 as usize].module.funcs[f.func.0 as usize]
+            .instrs
+            .get(f.idx)
+    }
+
+    /// The destination operand of the instruction at the current PC,
+    /// resolved against current register values (used by the injector right
+    /// after a breakpoint, when `idx` has already advanced past the target —
+    /// pass the instruction explicitly in that case).
+    pub fn dest_of(&self, inst: &MInst, frame: &Frame) -> DestRef {
+        if inst.is_control() {
+            return DestRef::Pc;
+        }
+        if let MInst::Store { mem, size, .. } = inst {
+            let addr = mem.effective(|r| frame.regs[r.0 as usize]);
+            return DestRef::Mem(addr, *size);
+        }
+        match inst.dest_reg() {
+            Some(r) => DestRef::Reg(r),
+            None => DestRef::Pc,
+        }
+    }
+
+    fn eval_src(&mut self, frame: usize, src: Src) -> Result<u64, MemFault> {
+        match src {
+            Src::Reg(r) => Ok(self.frames[frame].regs[r.0 as usize]),
+            Src::Imm(v) => Ok(v),
+            Src::Mem(m, size) => {
+                let addr = m.effective(|r| self.frames[frame].regs[r.0 as usize]);
+                self.mem.load(addr, size as u32)
+            }
+            Src::Global(g) => {
+                let mid = self.frames[frame].module;
+                Ok(self.image.modules[mid.0 as usize].global_addrs[g.0 as usize])
+            }
+        }
+    }
+
+    /// Run until completion, trap, or breakpoint.
+    pub fn run(&mut self) -> RunExit {
+        loop {
+            match self.step() {
+                StepOut::Continue => {}
+                StepOut::Done(v) => return RunExit::Done(v),
+                StepOut::Trap(t) => {
+                    self.trap_count += 1;
+                    return RunExit::Trapped(t);
+                }
+                StepOut::Break => return RunExit::BreakHit,
+            }
+        }
+    }
+
+    fn step(&mut self) -> StepOut {
+        let Some(frame) = self.frames.last() else {
+            return StepOut::Done(None);
+        };
+        let (mid, fid, idx) = (frame.module, frame.func, frame.idx);
+        let pc = self.pc();
+        let mf = &self.image.modules[mid.0 as usize].module.funcs[fid.0 as usize];
+        if idx >= mf.instrs.len() {
+            // Wild PC (corrupted control flow): invalid instruction fetch.
+            return StepOut::Trap(Trap { kind: TrapKind::Segv(pc), pc });
+        }
+        if self.fuel == 0 {
+            return StepOut::Trap(Trap { kind: TrapKind::OutOfFuel, pc });
+        }
+        self.fuel -= 1;
+        self.steps += 1;
+        if let Some(p) = &mut self.profile {
+            p[mid.0 as usize][fid.0 as usize][idx] += 1;
+        }
+        let break_hit = match &mut self.break_at {
+            Some((bm, bf, bi, n)) if *bm == mid && *bf == fid && *bi == idx => {
+                if *n <= 1 {
+                    self.break_at = None;
+                    true
+                } else {
+                    *n -= 1;
+                    false
+                }
+            }
+            _ => false,
+        };
+
+        let inst = mf.instrs[idx].clone();
+        let fi = self.frames.len() - 1;
+        let trap = |k: TrapKind| StepOut::Trap(Trap { kind: k, pc });
+        let memtrap = |e: MemFault| {
+            StepOut::Trap(Trap {
+                kind: match e {
+                    MemFault::Unmapped(a) => TrapKind::Segv(a),
+                    MemFault::Misaligned(a) => TrapKind::Bus(a),
+                },
+                pc,
+            })
+        };
+
+        let mut advanced = false;
+        match inst {
+            MInst::Mov { dst, src, size, sext } => {
+                let mut v = match self.eval_src(fi, src) {
+                    Ok(v) => v,
+                    Err(e) => return memtrap(e),
+                };
+                if sext && size < 8 {
+                    let ty = match size {
+                        1 => Ty::I8,
+                        2 => Ty::I16,
+                        _ => Ty::I32,
+                    };
+                    v = sext_bits(v, ty) as u64;
+                }
+                self.frames[fi].regs[dst.0 as usize] = v;
+            }
+            MInst::Store { src, mem, size } => {
+                let v = self.frames[fi].regs[src.0 as usize];
+                let addr = mem.effective(|r| self.frames[fi].regs[r.0 as usize]);
+                if let Err(e) = self.mem.store(addr, size as u32, v) {
+                    return memtrap(e);
+                }
+            }
+            MInst::Lea { dst, mem } => {
+                let addr = mem.effective(|r| self.frames[fi].regs[r.0 as usize]);
+                self.frames[fi].regs[dst.0 as usize] = addr;
+            }
+            MInst::Bin { op, dst, lhs, rhs, ty } => {
+                let l = self.frames[fi].regs[lhs.0 as usize];
+                let r = match self.eval_src(fi, rhs) {
+                    Ok(v) => v,
+                    Err(e) => return memtrap(e),
+                };
+                match eval_bin(op, l, r, ty) {
+                    Ok(v) => self.frames[fi].regs[dst.0 as usize] = v,
+                    Err(_) => return trap(TrapKind::Fpe),
+                }
+            }
+            MInst::Icmp { pred, dst, lhs, rhs, ty } => {
+                let l = self.frames[fi].regs[lhs.0 as usize];
+                let r = match self.eval_src(fi, rhs) {
+                    Ok(v) => v,
+                    Err(e) => return memtrap(e),
+                };
+                self.frames[fi].regs[dst.0 as usize] = eval_icmp(pred, l, r, ty) as u64;
+            }
+            MInst::Fcmp { pred, dst, lhs, rhs, ty } => {
+                let l = self.frames[fi].regs[lhs.0 as usize];
+                let r = match self.eval_src(fi, rhs) {
+                    Ok(v) => v,
+                    Err(e) => return memtrap(e),
+                };
+                self.frames[fi].regs[dst.0 as usize] =
+                    eval_fcmp(pred, float_of_bits(l, ty), float_of_bits(r, ty)) as u64;
+            }
+            MInst::Cast { op, dst, src, from, to } => {
+                let v = self.frames[fi].regs[src.0 as usize];
+                self.frames[fi].regs[dst.0 as usize] = eval_cast(op, v, from, to);
+            }
+            MInst::Select { dst, cond, t, f } => {
+                let c = self.frames[fi].regs[cond.0 as usize] & 1;
+                let v = if c != 0 {
+                    self.frames[fi].regs[t.0 as usize]
+                } else {
+                    self.frames[fi].regs[f.0 as usize]
+                };
+                self.frames[fi].regs[dst.0 as usize] = v;
+            }
+            MInst::Jmp { target } => {
+                self.frames[fi].idx = target as usize;
+                advanced = true;
+            }
+            MInst::Jnz { cond, then_t, else_t } => {
+                let c = self.frames[fi].regs[cond.0 as usize] & 1;
+                self.frames[fi].idx = if c != 0 { then_t } else { else_t } as usize;
+                advanced = true;
+            }
+            MInst::GetArg { dst, idx: a } => {
+                let v = self.frames[fi].args.get(a as usize).copied().unwrap_or(0);
+                self.frames[fi].regs[dst.0 as usize] = v;
+            }
+            MInst::Call { callee, args, dst } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for s in &args {
+                    match self.eval_src(fi, *s) {
+                        Ok(v) => argv.push(v),
+                        Err(e) => return memtrap(e),
+                    }
+                }
+                // Advance the caller past the call before pushing the frame.
+                self.frames[fi].idx += 1;
+                advanced = true;
+                if let Err(t) = self.push_frame(mid, callee, argv, dst) {
+                    return StepOut::Trap(t);
+                }
+            }
+            MInst::CallIntr { which, args, dst } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for s in &args {
+                    match self.eval_src(fi, *s) {
+                        Ok(v) => argv.push(v),
+                        Err(e) => return memtrap(e),
+                    }
+                }
+                match self.eval_intrinsic(which, &argv) {
+                    Ok(r) => {
+                        if let (Some(d), Some(v)) = (dst, r) {
+                            self.frames[fi].regs[d.0 as usize] = v;
+                        }
+                    }
+                    Err(k) => return trap(k),
+                }
+            }
+            MInst::Ret { src } => {
+                let val = src.map(|r| self.frames[fi].regs[r.0 as usize]);
+                let done = self.frames.len() == 1;
+                let frame = self.frames.pop().expect("frame");
+                self.sp = frame.saved_sp;
+                if done {
+                    return if break_hit { StepOut::Break } else { StepOut::Done(val) };
+                }
+                if let (Some(d), Some(v)) = (frame.ret_dst, val) {
+                    let pl = self.frames.len() - 1;
+                    self.frames[pl].regs[d.0 as usize] = v;
+                }
+                advanced = true;
+            }
+        }
+        if !advanced {
+            self.frames[fi].idx += 1;
+        }
+        if break_hit {
+            StepOut::Break
+        } else {
+            StepOut::Continue
+        }
+    }
+
+    fn eval_intrinsic(
+        &mut self,
+        which: Intrinsic,
+        args: &[u64],
+    ) -> Result<Option<u64>, TrapKind> {
+        let f = |n: usize| f64::from_bits(args[n]);
+        Ok(match which {
+            Intrinsic::Sqrt => Some(f(0).sqrt().to_bits()),
+            Intrinsic::Fabs => Some(f(0).abs().to_bits()),
+            Intrinsic::Sin => Some(f(0).sin().to_bits()),
+            Intrinsic::Cos => Some(f(0).cos().to_bits()),
+            Intrinsic::Exp => Some(f(0).exp().to_bits()),
+            Intrinsic::Floor => Some(f(0).floor().to_bits()),
+            Intrinsic::Pow => Some(f(0).powf(f(1)).to_bits()),
+            Intrinsic::FMin => Some(f(0).min(f(1)).to_bits()),
+            Intrinsic::FMax => Some(f(0).max(f(1)).to_bits()),
+            Intrinsic::IMin => Some(((args[0] as i64).min(args[1] as i64)) as u64),
+            Intrinsic::IMax => Some(((args[0] as i64).max(args[1] as i64)) as u64),
+            Intrinsic::Assert => {
+                if args[0] & 1 == 0 {
+                    return Err(TrapKind::Abort);
+                }
+                None
+            }
+            Intrinsic::Abort => return Err(TrapKind::Abort),
+            Intrinsic::Malloc => {
+                let size = args[0].max(1);
+                let addr = (self.heap_ptr + 15) & !15;
+                self.mem.map_region(addr, size);
+                self.heap_ptr = addr + size + PAGE_SIZE;
+                Some(addr)
+            }
+            Intrinsic::Free => None,
+        })
+    }
+
+    /// Read the bits of a global variable by name (test/verification aid).
+    pub fn read_global(&mut self, name: &str, elem: u64, ty: Ty) -> Option<u64> {
+        let addr = self.image.global_addr_by_name(name)?;
+        self.mem.load(addr + elem * ty.size() as u64, ty.size()).ok()
+    }
+
+    /// Snapshot the raw bytes of a named global (SDC comparison).
+    pub fn snapshot_global(&self, name: &str, len: u64) -> Option<Vec<u8>> {
+        let addr = self.image.global_addr_by_name(name)?;
+        let mut buf = vec![0u8; len as usize];
+        self.mem.read_bytes(addr, &mut buf).ok()?;
+        Some(buf)
+    }
+}
+
+enum StepOut {
+    Continue,
+    Done(Option<u64>),
+    Trap(Trap),
+    Break,
+}
+
+/// Effective-address helper exposed for Safeguard's disassembly step.
+pub fn effective_addr(mem: &MemOp, frame: &Frame) -> u64 {
+    mem.effective(|r| frame.regs[r.0 as usize])
+}

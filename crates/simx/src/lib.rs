@@ -1,0 +1,32 @@
+//! # simx — the SimISA simulated machine
+//!
+//! A vertically-integrated substitute for the paper's x86_64/Linux substrate:
+//!
+//! * [`isa`] — a CISC instruction set with `disp(base,index,scale)` memory
+//!   operands and folded memory references;
+//! * [`codegen`] — instruction selection from TinyIR with the `-O0`
+//!   (stack-slot) and `-O1` (linear-scan register) disciplines;
+//! * [`debug`] — simulated DWARF line tables and variable location lists;
+//! * [`image`] — machine modules, shared libraries, `dladdr` and PLT;
+//! * [`cpu`] — the execution engine with signal-like traps, breakpoints
+//!   (for the ptrace-style injector) and Pin-style profiling.
+//!
+//! See DESIGN.md §2 for why this substitution preserves the behaviour CARE's
+//! evaluation depends on.
+
+pub mod codegen;
+pub mod cpu;
+pub mod debug;
+pub mod disasm;
+pub mod image;
+pub mod isa;
+
+pub use codegen::compile_module;
+pub use disasm::{decode, disassemble_function, disassemble_module, format_inst, Decoded};
+pub use cpu::{DestRef, Frame, Process, Profile, RunExit, Trap, TrapKind};
+pub use debug::{DebugData, DieRequest, LocEntry, VarDie, VarPlace};
+pub use image::{LoadedModule, MachineFunction, MachineModule, ModuleId, ProcessImage};
+pub use isa::{MInst, MemOp, Reg, Src, FP, SP};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,520 @@
+//! Differential and behavioural tests for the SimISA backend and engine.
+
+use crate::*;
+use tinyir::builder::ModuleBuilder;
+use tinyir::interp::{layout_globals, Interp};
+use tinyir::mem::PagedMemory;
+use tinyir::{ICmp, Intrinsic, Module, Ty, Value};
+
+/// Run `func` both on the reference interpreter and on the compiled
+/// SimISA machine (at the given regalloc setting) and require identical
+/// results.
+fn differential(m: &Module, func: &str, args: &[u64], regalloc: bool) -> Option<u64> {
+    // Interpreter.
+    let mut imem = PagedMemory::new();
+    let globals = layout_globals(m, &mut imem, 0x1000_0000);
+    let mut interp = Interp::new(
+        m,
+        &mut imem,
+        &globals,
+        0x7f00_0000_0000,
+        0x7f00_0100_0000,
+        0x6000_0000_0000,
+        1_000_000_000,
+    );
+    let iret = interp
+        .call(m.func_by_name(func).unwrap(), args)
+        .expect("interp ok");
+
+    // Machine.
+    let mm = compile_module(m, regalloc, &[]);
+    let mut p = Process::new(mm, vec![]);
+    p.start(func, args);
+    match p.run() {
+        RunExit::Done(v) => {
+            assert_eq!(v, iret, "machine result != interpreter result");
+            v
+        }
+        other => panic!("machine did not finish: {other:?}"),
+    }
+}
+
+fn diff_both(m: &Module, func: &str, args: &[u64]) -> Option<u64> {
+    let a = differential(m, func, args, false);
+    let b = differential(m, func, args, true);
+    assert_eq!(a, b);
+    a
+}
+
+#[test]
+fn straightline_arith() {
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    mb.define("poly", vec![Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+        let a2 = fb.mul(fb.arg(0), fb.arg(0), Ty::I64);
+        let ab = fb.mul(fb.arg(0), fb.arg(1), Ty::I64);
+        let s = fb.add(a2, ab, Ty::I64);
+        let t = fb.sub(s, Value::i64(7), Ty::I64);
+        fb.ret(Some(t));
+    });
+    let m = mb.finish();
+    assert_eq!(diff_both(&m, "poly", &[5, 3]), Some(25 + 15 - 7));
+}
+
+#[test]
+fn loops_and_arrays() {
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    let g = mb.global_zeroed("data", Ty::F64, 64);
+    mb.define("fill_sum", vec![Ty::I64], Some(Ty::F64), |fb| {
+        fb.for_loop(Value::i64(0), fb.arg(0), |fb, iv| {
+            let x = fb.cast(tinyir::CastOp::SiToFp, iv, Ty::F64);
+            let x2 = fb.fmul(x, x, Ty::F64);
+            fb.store_elem(x2, fb.global(g), iv, Ty::F64);
+        });
+        let acc = fb.alloca(Ty::F64, 1);
+        fb.store(Value::f64(0.0), acc);
+        fb.for_loop(Value::i64(0), fb.arg(0), |fb, iv| {
+            let v = fb.load_elem(fb.global(g), iv, Ty::F64);
+            let a = fb.load(acc, Ty::F64);
+            let s = fb.fadd(a, v, Ty::F64);
+            fb.store(s, acc);
+        });
+        let r = fb.load(acc, Ty::F64);
+        fb.ret(Some(r));
+    });
+    let m = mb.finish();
+    let expected: f64 = (0..10).map(|i| (i * i) as f64).sum();
+    let bits = diff_both(&m, "fill_sum", &[10]).unwrap();
+    assert_eq!(f64::from_bits(bits), expected);
+}
+
+#[test]
+fn optimized_module_matches_machine() {
+    // Run the O1 IR pipeline, then require interp == machine again.
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    let g = mb.global_zeroed("out", Ty::I64, 32);
+    mb.define("tri", vec![Ty::I64], Some(Ty::I64), |fb| {
+        let acc = fb.alloca(Ty::I64, 1);
+        fb.store(Value::i64(0), acc);
+        fb.for_loop(Value::i64(0), fb.arg(0), |fb, iv| {
+            let a = fb.load(acc, Ty::I64);
+            let s = fb.add(a, iv, Ty::I64);
+            fb.store(s, acc);
+            fb.store_elem(s, fb.global(g), iv, Ty::I64);
+        });
+        let r = fb.load(acc, Ty::I64);
+        fb.ret(Some(r));
+    });
+    let mut m = mb.finish();
+    opt::optimize(&mut m, opt::OptLevel::O1);
+    tinyir::verify::verify_module(&m).unwrap();
+    assert_eq!(diff_both(&m, "tri", &[10]), Some(45));
+}
+
+#[test]
+fn calls_and_recursion() {
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    let fib = mb.declare("fib", vec![Ty::I64], Some(Ty::I64));
+    mb.define("fib", vec![Ty::I64], Some(Ty::I64), |fb| {
+        let base = fb.icmp(ICmp::Sle, fb.arg(0), Value::i64(1));
+        let out = fb.alloca(Ty::I64, 1);
+        fb.if_then_else(
+            base,
+            |fb| fb.store(fb.arg(0), out),
+            |fb| {
+                let n1 = fb.sub(fb.arg(0), Value::i64(1), Ty::I64);
+                let n2 = fb.sub(fb.arg(0), Value::i64(2), Ty::I64);
+                let f1 = fb.call(fib, vec![n1]);
+                let f2 = fb.call(fib, vec![n2]);
+                let s = fb.add(f1, f2, Ty::I64);
+                fb.store(s, out);
+            },
+        );
+        let r = fb.load(out, Ty::I64);
+        fb.ret(Some(r));
+    });
+    let m = mb.finish();
+    assert_eq!(diff_both(&m, "fib", &[12]), Some(144));
+}
+
+#[test]
+fn intrinsics_match() {
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    mb.define("norm", vec![Ty::F64, Ty::F64], Some(Ty::F64), |fb| {
+        let a2 = fb.fmul(fb.arg(0), fb.arg(0), Ty::F64);
+        let b2 = fb.fmul(fb.arg(1), fb.arg(1), Ty::F64);
+        let s = fb.fadd(a2, b2, Ty::F64);
+        let r = fb.sqrt(s);
+        fb.ret(Some(r));
+    });
+    let m = mb.finish();
+    let bits = diff_both(&m, "norm", &[3.0f64.to_bits(), 4.0f64.to_bits()]).unwrap();
+    assert_eq!(f64::from_bits(bits), 5.0);
+}
+
+#[test]
+fn out_of_bounds_traps_with_fault_address() {
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    let g = mb.global_zeroed("arr", Ty::F64, 16);
+    mb.define("peek", vec![Ty::I64], Some(Ty::F64), |fb| {
+        let v = fb.load_elem(fb.global(g), fb.arg(0), Ty::F64);
+        fb.ret(Some(v));
+    });
+    let m = mb.finish();
+    for regalloc in [false, true] {
+        let mm = compile_module(&m, regalloc, &[]);
+        let mut p = Process::new(mm, vec![]);
+        p.start("peek", &[1 << 30]);
+        match p.run() {
+            RunExit::Trapped(t) => {
+                assert!(matches!(t.kind, TrapKind::Segv(_)), "{t:?}");
+                // The faulting PC must map back to an instruction with a
+                // memory operand.
+                let (mid, fid, idx) = p.image.locate_pc(t.pc).unwrap();
+                let inst =
+                    &p.image.modules[mid.0 as usize].module.funcs[fid.0 as usize].instrs[idx];
+                assert!(inst.mem_operand().is_some());
+            }
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn o1_uses_base_index_memory_operands() {
+    // The array store in a loop must lower to a disp(base,index,scale)
+    // operand under regalloc — the shape Safeguard patches.
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    let g = mb.global_zeroed("arr", Ty::F64, 64);
+    mb.define("fill", vec![Ty::I64], None, |fb| {
+        fb.for_loop(Value::i64(0), fb.arg(0), |fb, iv| {
+            fb.store_elem(Value::f64(1.0), fb.global(g), iv, Ty::F64);
+        });
+        fb.ret(None);
+    });
+    let mut m = mb.finish();
+    opt::optimize(&mut m, opt::OptLevel::O1);
+    let mm = compile_module(&m, true, &[]);
+    let has_indexed = mm.funcs.iter().flat_map(|f| &f.instrs).any(|i| {
+        i.mem_operand()
+            .map(|mo| mo.index.is_some() && mo.scale == 8)
+            .unwrap_or(false)
+    });
+    assert!(has_indexed, "expected an indexed memory operand");
+}
+
+#[test]
+fn line_table_keys_memory_accesses() {
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    let g = mb.global_zeroed("arr", Ty::F64, 64);
+    mb.define("touch", vec![Ty::I64], Some(Ty::F64), |fb| {
+        let v = fb.load_elem(fb.global(g), fb.arg(0), Ty::F64);
+        fb.ret(Some(v));
+    });
+    let m = mb.finish();
+    let load_loc = m.funcs[0]
+        .instrs
+        .iter()
+        .find(|i| matches!(i.kind, tinyir::InstrKind::Load { .. }))
+        .unwrap()
+        .loc
+        .unwrap();
+    for regalloc in [false, true] {
+        let mm = compile_module(&m, regalloc, &[]);
+        // Find the machine instruction with the array memory operand and
+        // check the line table maps its offset to the load's location.
+        let f = &mm.funcs[0];
+        let (idx, _) = f
+            .instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| {
+                matches!(i, MInst::Mov { src: Src::Mem(mo, _), .. } if mo.base != Some(FP))
+            })
+            .last()
+            .unwrap();
+        let off = f.offset_of(idx);
+        assert_eq!(mm.debug.loc_for_offset(off), Some(load_loc));
+    }
+}
+
+#[test]
+fn breakpoint_stops_after_nth_execution() {
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    let g = mb.global_zeroed("arr", Ty::I64, 64);
+    mb.define("count", vec![Ty::I64], None, |fb| {
+        fb.for_loop(Value::i64(0), fb.arg(0), |fb, iv| {
+            fb.store_elem(iv, fb.global(g), iv, Ty::I64);
+        });
+        fb.ret(None);
+    });
+    let m = mb.finish();
+    let mm = compile_module(&m, false, &[]);
+    // Find the store instruction in the machine code.
+    let fid = mm.func_by_name("count").unwrap();
+    let store_idx = mm.funcs[fid.0 as usize]
+        .instrs
+        .iter()
+        .position(|i| matches!(i, MInst::Store { mem, .. } if mem.base != Some(FP)))
+        .unwrap();
+    let mut p = Process::new(mm, vec![]);
+    p.start("count", &[10]);
+    p.break_at = Some((ModuleId(0), fid, store_idx, 4));
+    assert_eq!(p.run(), RunExit::BreakHit);
+    // 4 executions done: arr[3] was just written.
+    assert_eq!(p.read_global("arr", 3, Ty::I64), Some(3));
+    assert_eq!(p.read_global("arr", 4, Ty::I64), Some(0));
+    // Resuming finishes the run.
+    assert_eq!(p.run(), RunExit::Done(None));
+    assert_eq!(p.read_global("arr", 9, Ty::I64), Some(9));
+}
+
+#[test]
+fn shared_library_call_via_plt() {
+    // App declares `scale2`; the library defines it.
+    let mut app_b = ModuleBuilder::new("app", "app.c");
+    let ext = app_b.declare("scale2", vec![Ty::F64], Some(Ty::F64));
+    app_b.define("main", vec![Ty::F64], Some(Ty::F64), |fb| {
+        let r = fb.call(ext, vec![fb.arg(0)]);
+        fb.ret(Some(r));
+    });
+    let app = app_b.finish();
+
+    let mut lib_b = ModuleBuilder::new("libscale", "scale.c");
+    lib_b.define("scale2", vec![Ty::F64], Some(Ty::F64), |fb| {
+        let r = fb.fmul(fb.arg(0), Value::f64(2.0), Ty::F64);
+        fb.ret(Some(r));
+    });
+    let lib = lib_b.finish();
+
+    let mm_app = compile_module(&app, true, &[]);
+    let mm_lib = compile_module(&lib, true, &[]);
+    let mut p = Process::new(mm_app, vec![mm_lib]);
+    p.start("main", &[21.0f64.to_bits()]);
+    match p.run() {
+        RunExit::Done(Some(bits)) => assert_eq!(f64::from_bits(bits), 42.0),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn profile_counts_dynamic_executions() {
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    mb.define("spin", vec![Ty::I64], None, |fb| {
+        fb.for_loop(Value::i64(0), fb.arg(0), |fb, iv| {
+            let _ = fb.mul(iv, iv, Ty::I64);
+        });
+        fb.ret(None);
+    });
+    let m = mb.finish();
+    let mm = compile_module(&m, false, &[]);
+    let mut p = Process::new(mm, vec![]);
+    p.enable_profile();
+    p.start("spin", &[7]);
+    assert!(matches!(p.run(), RunExit::Done(None)));
+    let prof = p.profile.as_ref().unwrap();
+    // Some instruction in the loop body executed exactly 7 times.
+    assert!(prof[0][0].iter().any(|&c| c == 7));
+    assert!(p.steps > 0);
+}
+
+#[test]
+fn assert_intrinsic_aborts_machine() {
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    mb.define("guard", vec![Ty::I64], None, |fb| {
+        let ok = fb.icmp(ICmp::Slt, fb.arg(0), Value::i64(8));
+        fb.assert_cond(ok);
+        fb.ret(None);
+    });
+    let m = mb.finish();
+    let mm = compile_module(&m, false, &[]);
+    let mut p = Process::new(mm.clone(), vec![]);
+    p.start("guard", &[3]);
+    assert!(matches!(p.run(), RunExit::Done(None)));
+    let mut p = Process::new(mm, vec![]);
+    p.start("guard", &[9]);
+    match p.run() {
+        RunExit::Trapped(t) => assert_eq!(t.kind, TrapKind::Abort),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn malloc_heap_round_trip() {
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    mb.define("heap", vec![], Some(Ty::I64), |fb| {
+        let p = fb.intrinsic(Intrinsic::Malloc, vec![Value::i64(128)]);
+        fb.store_elem(Value::i64(31), p, Value::i64(7), Ty::I64);
+        let v = fb.load_elem(p, Value::i64(7), Ty::I64);
+        fb.ret(Some(v));
+    });
+    let m = mb.finish();
+    assert_eq!(diff_both(&m, "heap", &[]), Some(31));
+}
+
+#[test]
+fn fuel_exhaustion_is_a_hang_trap() {
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    mb.define("forever", vec![], None, |fb| {
+        let bb = fb.new_block("spin");
+        fb.br(bb);
+        fb.switch_to(bb);
+        fb.br(bb);
+    });
+    let m = mb.finish();
+    let mm = compile_module(&m, false, &[]);
+    let mut p = Process::new(mm, vec![]);
+    p.start("forever", &[]);
+    p.fuel = 10_000;
+    match p.run() {
+        RunExit::Trapped(t) => assert_eq!(t.kind, TrapKind::OutOfFuel),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn phi_swap_cycles_sequentialize_correctly() {
+    // A loop that swaps two values every iteration: after mem2reg this is
+    // two phis feeding each other — the parallel-copy cycle the codegen
+    // must break through a scratch register.
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    mb.define("swapper", vec![Ty::I64, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+        let xa = fb.alloca(Ty::I64, 1);
+        let ya = fb.alloca(Ty::I64, 1);
+        fb.store(fb.arg(0), xa);
+        fb.store(fb.arg(1), ya);
+        fb.for_loop(Value::i64(0), fb.arg(2), |fb, _iv| {
+            let x = fb.load(xa, Ty::I64);
+            let y = fb.load(ya, Ty::I64);
+            fb.store(y, xa); // x' = y
+            fb.store(x, ya); // y' = x
+        });
+        let x = fb.load(xa, Ty::I64);
+        let y = fb.load(ya, Ty::I64);
+        let two_x = fb.mul(x, Value::i64(2), Ty::I64);
+        let r = fb.add(two_x, y, Ty::I64);
+        fb.ret(Some(r));
+    });
+    let mut m = mb.finish();
+    opt::optimize(&mut m, opt::OptLevel::O1);
+    // Odd trip count: swapped once net. 2*b + a with (a,b,n)=(5,9,3).
+    assert_eq!(diff_both(&m, "swapper", &[5, 9, 3]), Some(2 * 9 + 5));
+    // Even trip count: identity. 2*a + b.
+    assert_eq!(diff_both(&m, "swapper", &[5, 9, 4]), Some(2 * 5 + 9));
+}
+
+#[test]
+fn three_way_phi_rotation_cycles() {
+    // Rotate three values through a loop: a->b->c->a. Forces a 3-cycle in
+    // the phi parallel copy.
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    mb.define(
+        "rotator",
+        vec![Ty::I64, Ty::I64, Ty::I64, Ty::I64],
+        Some(Ty::I64),
+        |fb| {
+            let aa = fb.alloca(Ty::I64, 1);
+            let ba = fb.alloca(Ty::I64, 1);
+            let ca = fb.alloca(Ty::I64, 1);
+            fb.store(fb.arg(0), aa);
+            fb.store(fb.arg(1), ba);
+            fb.store(fb.arg(2), ca);
+            fb.for_loop(Value::i64(0), fb.arg(3), |fb, _iv| {
+                let a = fb.load(aa, Ty::I64);
+                let b = fb.load(ba, Ty::I64);
+                let c = fb.load(ca, Ty::I64);
+                fb.store(c, aa);
+                fb.store(a, ba);
+                fb.store(b, ca);
+            });
+            let a = fb.load(aa, Ty::I64);
+            let b = fb.load(ba, Ty::I64);
+            let c = fb.load(ca, Ty::I64);
+            let a4 = fb.mul(a, Value::i64(4), Ty::I64);
+            let b2 = fb.mul(b, Value::i64(2), Ty::I64);
+            let s = fb.add(a4, b2, Ty::I64);
+            let r = fb.add(s, c, Ty::I64);
+            fb.ret(Some(r));
+        },
+    );
+    let mut m = mb.finish();
+    opt::optimize(&mut m, opt::OptLevel::O1);
+    // One rotation: (a,b,c) = (c0,a0,b0). With (1,2,3): (3,1,2) -> 4*3+2*1+2 = 16.
+    assert_eq!(diff_both(&m, "rotator", &[1, 2, 3, 1]), Some(16));
+    // Three rotations: identity -> 4*1+2*2+3 = 11.
+    assert_eq!(diff_both(&m, "rotator", &[1, 2, 3, 3]), Some(11));
+}
+
+#[test]
+fn deep_call_chains_respect_stack_limits() {
+    // Deep recursion must hit the stack guard as a SIGSEGV, not corrupt
+    // anything.
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    let deep = mb.declare("deep", vec![Ty::I64], Some(Ty::I64));
+    mb.define("deep", vec![Ty::I64], Some(Ty::I64), |fb| {
+        let big = fb.alloca(Ty::I64, 512); // 4 KiB frame
+        fb.store_elem(fb.arg(0), big, Value::i64(0), Ty::I64);
+        let done = fb.icmp(ICmp::Sle, fb.arg(0), Value::i64(0));
+        let out = fb.alloca(Ty::I64, 1);
+        fb.if_then_else(
+            done,
+            |fb| fb.store(Value::i64(0), out),
+            |fb| {
+                let n1 = fb.sub(fb.arg(0), Value::i64(1), Ty::I64);
+                let r = fb.call(deep, vec![n1]);
+                fb.store(r, out);
+            },
+        );
+        let r = fb.load(out, Ty::I64);
+        fb.ret(Some(r));
+    });
+    let m = mb.finish();
+    let mm = compile_module(&m, false, &[]);
+    // Shallow recursion completes.
+    let mut p = Process::new(mm.clone(), vec![]);
+    p.start("deep", &[100]);
+    assert!(matches!(p.run(), RunExit::Done(Some(0))));
+    // Unbounded recursion overflows the 32 MiB stack -> Segv.
+    let mut p = Process::new(mm, vec![]);
+    p.start("deep", &[1_000_000]);
+    match p.run() {
+        RunExit::Trapped(t) => assert!(matches!(t.kind, TrapKind::Segv(_)), "{t:?}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn sub_word_types_round_trip_through_memory() {
+    // i8/i16/i32 array traffic with sign-sensitive arithmetic.
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    let g8 = mb.global_zeroed("a8", Ty::I8, 16);
+    let g16 = mb.global_zeroed("a16", Ty::I16, 16);
+    let g32 = mb.global_zeroed("a32", Ty::I32, 16);
+    mb.define("subword", vec![Ty::I64], Some(Ty::I64), |fb| {
+        // Store -n in each width, reload, sign-extend, sum.
+        let neg = fb.sub(Value::i64(0), fb.arg(0), Ty::I64);
+        let v8 = fb.cast(tinyir::CastOp::Trunc, neg, Ty::I8);
+        let v16 = fb.cast(tinyir::CastOp::Trunc, neg, Ty::I16);
+        let v32 = fb.cast(tinyir::CastOp::Trunc, neg, Ty::I32);
+        fb.store_elem(v8, fb.global(g8), Value::i64(3), Ty::I8);
+        fb.store_elem(v16, fb.global(g16), Value::i64(3), Ty::I16);
+        fb.store_elem(v32, fb.global(g32), Value::i64(3), Ty::I32);
+        let r8 = fb.load_elem(fb.global(g8), Value::i64(3), Ty::I8);
+        let r16 = fb.load_elem(fb.global(g16), Value::i64(3), Ty::I16);
+        let r32 = fb.load_elem(fb.global(g32), Value::i64(3), Ty::I32);
+        let s8 = fb.sext(r8, Ty::I64);
+        let s16 = fb.sext(r16, Ty::I64);
+        let s32 = fb.sext(r32, Ty::I64);
+        let t = fb.add(s8, s16, Ty::I64);
+        let u = fb.add(t, s32, Ty::I64);
+        fb.ret(Some(u));
+    });
+    let m = mb.finish();
+    // -7 in each width sign-extends back to -7: total -21.
+    assert_eq!(diff_both(&m, "subword", &[7]), Some((-21i64) as u64));
+    // -200 truncated to i8 is +56 (two's complement wrap); i16/i32 keep
+    // -200: total 56 - 200 - 200 = -344.
+    assert_eq!(
+        diff_both(&m, "subword", &[200]),
+        Some((56i64 - 200 - 200) as u64)
+    );
+}

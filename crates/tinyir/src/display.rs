@@ -1,0 +1,232 @@
+//! Textual printer for TinyIR modules.
+//!
+//! The format is LLVM-flavoured and round-trips through [`crate::parser`]:
+//!
+//! ```text
+//! module "gtcp"
+//! file 0 "gtcp.c"
+//! global @g0 "phitmp" f64 x 4096 zero
+//! func @chargei(ptr %a0, i64 %a1) -> f64 {
+//! bb0:
+//!   %v0 = gep %a0, %a1, 8 !0:3:1
+//!   %v1 = load f64, %v0 !0:4:1
+//!   ret %v1 !0:5:1
+//! }
+//! ```
+
+use crate::instr::{Callee, InstrKind};
+use crate::module::{Function, GlobalInit, Module};
+use crate::value::Value;
+use std::fmt::Write;
+
+/// Render a value operand.
+pub fn value_str(v: Value) -> String {
+    match v {
+        Value::Instr(id) => format!("%v{}", id.0),
+        Value::Arg(i) => format!("%a{i}"),
+        Value::Global(g) => format!("@g{}", g.0),
+        Value::ConstInt(x, t) => format!("{t} {x}"),
+        Value::ConstFloat(x, t) => format!("{t} {}", fmt_float(x)),
+        Value::ConstNull => "null".to_string(),
+    }
+}
+
+fn fmt_float(x: f64) -> String {
+    // Hex bit pattern preserves exact values through round-trips.
+    format!("0fx{:016x}", x.to_bits())
+}
+
+/// Render one instruction (without the leading result binding).
+pub fn instr_body_str(i: &InstrKind) -> String {
+    match i {
+        InstrKind::Alloca { elem_ty, count } => format!("alloca {elem_ty}, {count}"),
+        InstrKind::Load { ptr, ty } => format!("load {ty}, {}", value_str(*ptr)),
+        InstrKind::Store { val, ptr } => {
+            format!("store {}, {}", value_str(*val), value_str(*ptr))
+        }
+        InstrKind::Gep { base, index, elem_size } => format!(
+            "gep {}, {}, {elem_size}",
+            value_str(*base),
+            value_str(*index)
+        ),
+        InstrKind::Bin { op, lhs, rhs, ty } => format!(
+            "{} {ty} {}, {}",
+            op.mnemonic(),
+            value_str(*lhs),
+            value_str(*rhs)
+        ),
+        InstrKind::Icmp { pred, lhs, rhs } => format!(
+            "icmp {} {}, {}",
+            pred.mnemonic(),
+            value_str(*lhs),
+            value_str(*rhs)
+        ),
+        InstrKind::Fcmp { pred, lhs, rhs } => format!(
+            "fcmp {} {}, {}",
+            pred.mnemonic(),
+            value_str(*lhs),
+            value_str(*rhs)
+        ),
+        InstrKind::Cast { op, val, to } => {
+            format!("{} {} to {to}", op.mnemonic(), value_str(*val))
+        }
+        InstrKind::Select { cond, t, f, ty } => format!(
+            "select {ty} {}, {}, {}",
+            value_str(*cond),
+            value_str(*t),
+            value_str(*f)
+        ),
+        InstrKind::Phi { incomings, ty } => {
+            let parts: Vec<String> = incomings
+                .iter()
+                .map(|(b, v)| format!("[bb{}: {}]", b.0, value_str(*v)))
+                .collect();
+            format!("phi {ty} {}", parts.join(", "))
+        }
+        InstrKind::Call { callee, args, ret_ty } => {
+            let argstr: Vec<String> = args.iter().map(|a| value_str(*a)).collect();
+            let rt = match ret_ty {
+                Some(t) => format!("{t}"),
+                None => "void".into(),
+            };
+            match callee {
+                Callee::Func(f) => format!("call {rt} @f{}({})", f.0, argstr.join(", ")),
+                Callee::Intrinsic(i) => {
+                    format!("call {rt} ${}({})", i.name(), argstr.join(", "))
+                }
+            }
+        }
+        InstrKind::Br { target } => format!("br bb{}", target.0),
+        InstrKind::CondBr { cond, then_bb, else_bb } => format!(
+            "condbr {}, bb{}, bb{}",
+            value_str(*cond),
+            then_bb.0,
+            else_bb.0
+        ),
+        InstrKind::Ret { val } => match val {
+            Some(v) => format!("ret {}", value_str(*v)),
+            None => "ret void".into(),
+        },
+    }
+}
+
+/// Render a whole function.
+pub fn print_function(f: &Function, out: &mut String) {
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{t} %a{i}"))
+        .collect();
+    let ret = match f.ret_ty {
+        Some(t) => format!("{t}"),
+        None => "void".into(),
+    };
+    if f.is_decl {
+        let _ = writeln!(out, "declare @{}({}) -> {}", f.name, params.join(", "), ret);
+        return;
+    }
+    let _ = writeln!(out, "func @{}({}) -> {} {{", f.name, params.join(", "), ret);
+    for (bid, block) in f.block_iter() {
+        let _ = writeln!(out, "bb{}:", bid.0);
+        for &iid in &block.instrs {
+            let instr = f.instr(iid);
+            let body = instr_body_str(&instr.kind);
+            let loc = instr
+                .loc
+                .map(|l| format!(" !{}:{}:{}", l.file.0, l.line, l.col))
+                .unwrap_or_default();
+            if instr.result_ty().is_some() {
+                let _ = writeln!(out, "  %v{} = {}{}", iid.0, body, loc);
+            } else {
+                let _ = writeln!(out, "  {}{}", body, loc);
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+}
+
+/// Render a whole module in the round-trippable textual format.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module \"{}\"", m.name);
+    for (i, file) in m.files.iter().enumerate() {
+        let _ = writeln!(out, "file {i} \"{file}\"");
+    }
+    for (i, g) in m.globals.iter().enumerate() {
+        let init = match &g.init {
+            GlobalInit::Zero => "zero".to_string(),
+            GlobalInit::I32s(v) => format!(
+                "i32s {}",
+                v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ")
+            ),
+            GlobalInit::I64s(v) => format!(
+                "i64s {}",
+                v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ")
+            ),
+            GlobalInit::F32s(v) => format!(
+                "f32s {}",
+                v.iter()
+                    .map(|x| format!("0fx{:08x}", x.to_bits()))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ),
+            GlobalInit::F64s(v) => format!(
+                "f64s {}",
+                v.iter()
+                    .map(|x| format!("0fx{:016x}", x.to_bits()))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ),
+        };
+        let _ = writeln!(
+            out,
+            "global @g{i} \"{}\" {} x {} {}",
+            g.name, g.elem_ty, g.count, init
+        );
+    }
+    for f in &m.funcs {
+        print_function(f, &mut out);
+    }
+    out
+}
+
+impl std::fmt::Display for Module {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&print_module(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::Ty;
+
+    #[test]
+    fn printed_module_contains_structure() {
+        let mut mb = ModuleBuilder::new("demo", "demo.c");
+        let g = mb.global_zeroed("data", Ty::F64, 32);
+        mb.define("touch", vec![Ty::I64], Some(Ty::F64), |fb| {
+            let v = fb.load_elem(fb.global(g), fb.arg(0), Ty::F64);
+            fb.ret(Some(v));
+        });
+        let m = mb.finish();
+        let text = print_module(&m);
+        assert!(text.contains("module \"demo\""));
+        assert!(text.contains("global @g0 \"data\" f64 x 32 zero"));
+        assert!(text.contains("func @touch(i64 %a0) -> f64 {"));
+        assert!(text.contains("load f64, %v0"));
+        assert!(text.contains("gep @g0"));
+        // Debug locations are printed.
+        assert!(text.contains(" !0:"));
+    }
+
+    #[test]
+    fn float_constants_print_as_bit_patterns() {
+        assert_eq!(
+            value_str(Value::f64(1.0)),
+            format!("f64 0fx{:016x}", 1.0f64.to_bits())
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! The memory abstraction shared by the reference interpreter and the SimISA
+//! machine.
+//!
+//! Memory is sparse and page-granular: only explicitly mapped pages are
+//! accessible, and touching an unmapped page produces the simulated
+//! equivalent of `SIGSEGV` (with the faulting address, like `siginfo_t`'s
+//! `si_addr`). Misaligned accesses produce the equivalent of `SIGBUS`.
+
+use std::collections::HashMap;
+
+/// Page size of the simulated address space (4 KiB, like Linux/x86_64).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A memory access fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemFault {
+    /// Access to an unmapped page — manifests as `SIGSEGV`.
+    Unmapped(u64),
+    /// Naturally-misaligned access — manifests as `SIGBUS`.
+    Misaligned(u64),
+}
+
+impl MemFault {
+    /// The faulting address.
+    pub fn addr(self) -> u64 {
+        match self {
+            MemFault::Unmapped(a) | MemFault::Misaligned(a) => a,
+        }
+    }
+}
+
+/// Byte-addressable, fault-reporting memory.
+pub trait Memory {
+    /// Load `size` bytes (1, 2, 4 or 8) from `addr` as little-endian bits.
+    fn load(&mut self, addr: u64, size: u32) -> Result<u64, MemFault>;
+
+    /// Store the low `size` bytes of `bits` to `addr`.
+    fn store(&mut self, addr: u64, size: u32, bits: u64) -> Result<(), MemFault>;
+
+    /// Make `[addr, addr+len)` accessible (zero-filled).
+    fn map_region(&mut self, addr: u64, len: u64);
+
+    /// Release the mapping for `[addr, addr+len)` (page granular).
+    fn unmap_region(&mut self, addr: u64, len: u64);
+
+    /// True if `addr` lies in a mapped page.
+    fn is_mapped(&self, addr: u64) -> bool;
+}
+
+/// Sparse paged memory backed by a page-table hash map.
+#[derive(Clone, Default)]
+pub struct PagedMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Total number of loads+stores served (profiling aid).
+    pub access_count: u64,
+}
+
+impl PagedMemory {
+    /// Fresh, fully-unmapped memory.
+    pub fn new() -> PagedMemory {
+        PagedMemory::default()
+    }
+
+    /// Number of currently mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Resident size in bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE
+    }
+
+    #[inline]
+    fn page_of(addr: u64) -> (u64, usize) {
+        (addr / PAGE_SIZE, (addr % PAGE_SIZE) as usize)
+    }
+
+    /// Read raw bytes without alignment checks (used by loaders/debuggers).
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        for (i, b) in buf.iter_mut().enumerate() {
+            let a = addr + i as u64;
+            let (p, off) = Self::page_of(a);
+            let page = self.pages.get(&p).ok_or(MemFault::Unmapped(a))?;
+            *b = page[off];
+        }
+        Ok(())
+    }
+
+    /// Write raw bytes without alignment checks (used by loaders).
+    pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemFault> {
+        for (i, b) in buf.iter().enumerate() {
+            let a = addr + i as u64;
+            let (p, off) = Self::page_of(a);
+            let page = self.pages.get_mut(&p).ok_or(MemFault::Unmapped(a))?;
+            page[off] = *b;
+        }
+        Ok(())
+    }
+}
+
+impl Memory for PagedMemory {
+    fn load(&mut self, addr: u64, size: u32) -> Result<u64, MemFault> {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        if addr % size as u64 != 0 {
+            return Err(MemFault::Misaligned(addr));
+        }
+        self.access_count += 1;
+        let (p, off) = Self::page_of(addr);
+        let page = self.pages.get(&p).ok_or(MemFault::Unmapped(addr))?;
+        // Natural alignment guarantees the value does not straddle a page.
+        let mut bits = 0u64;
+        for i in 0..size as usize {
+            bits |= (page[off + i] as u64) << (8 * i);
+        }
+        Ok(bits)
+    }
+
+    fn store(&mut self, addr: u64, size: u32, bits: u64) -> Result<(), MemFault> {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        if addr % size as u64 != 0 {
+            return Err(MemFault::Misaligned(addr));
+        }
+        self.access_count += 1;
+        let (p, off) = Self::page_of(addr);
+        let page = self.pages.get_mut(&p).ok_or(MemFault::Unmapped(addr))?;
+        for i in 0..size as usize {
+            page[off + i] = (bits >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    fn map_region(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / PAGE_SIZE;
+        let last = (addr + len - 1) / PAGE_SIZE;
+        for p in first..=last {
+            self.pages
+                .entry(p)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+        }
+    }
+
+    fn unmap_region(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / PAGE_SIZE;
+        let last = (addr + len - 1) / PAGE_SIZE;
+        for p in first..=last {
+            self.pages.remove(&p);
+        }
+    }
+
+    fn is_mapped(&self, addr: u64) -> bool {
+        self.pages.contains_key(&(addr / PAGE_SIZE))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_access_faults_with_address() {
+        let mut m = PagedMemory::new();
+        assert_eq!(m.load(0x4000_0000, 8), Err(MemFault::Unmapped(0x4000_0000)));
+        assert_eq!(m.store(0x123450, 8, 0), Err(MemFault::Unmapped(0x123450)));
+    }
+
+    #[test]
+    fn misaligned_access_is_a_bus_error() {
+        let mut m = PagedMemory::new();
+        m.map_region(0x1000, PAGE_SIZE);
+        assert_eq!(m.load(0x1001, 8), Err(MemFault::Misaligned(0x1001)));
+        assert_eq!(m.load(0x1004, 8), Err(MemFault::Misaligned(0x1004)));
+        assert!(m.load(0x1004, 4).is_ok());
+        assert!(m.load(0x1001, 1).is_ok());
+    }
+
+    #[test]
+    fn round_trip_all_sizes() {
+        let mut m = PagedMemory::new();
+        m.map_region(0x2000, PAGE_SIZE);
+        for (size, val) in [(1u32, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)]
+        {
+            m.store(0x2000, size, val).unwrap();
+            assert_eq!(m.load(0x2000, size).unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn stores_do_not_leak_beyond_size() {
+        let mut m = PagedMemory::new();
+        m.map_region(0x3000, PAGE_SIZE);
+        m.store(0x3000, 8, u64::MAX).unwrap();
+        m.store(0x3000, 2, 0).unwrap();
+        assert_eq!(m.load(0x3000, 8).unwrap(), u64::MAX & !0xffff);
+    }
+
+    #[test]
+    fn map_and_unmap_page_granularity() {
+        let mut m = PagedMemory::new();
+        m.map_region(0x1000, 2 * PAGE_SIZE);
+        assert!(m.is_mapped(0x1000));
+        assert!(m.is_mapped(0x1fff));
+        assert!(m.is_mapped(0x2000));
+        assert!(!m.is_mapped(0x3000));
+        m.unmap_region(0x1000, PAGE_SIZE);
+        assert!(!m.is_mapped(0x1000));
+        assert!(m.is_mapped(0x2000));
+    }
+
+    #[test]
+    fn raw_byte_io() {
+        let mut m = PagedMemory::new();
+        m.map_region(0x5000, PAGE_SIZE);
+        m.write_bytes(0x5003, &[1, 2, 3]).unwrap();
+        let mut buf = [0u8; 3];
+        m.read_bytes(0x5003, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3]);
+        assert!(m.read_bytes(0x9000, &mut buf).is_err());
+    }
+
+    #[test]
+    fn values_never_straddle_pages_when_aligned() {
+        let mut m = PagedMemory::new();
+        m.map_region(0x1000, PAGE_SIZE);
+        // Last aligned u64 slot of the page.
+        let addr = 0x1000 + PAGE_SIZE - 8;
+        m.store(addr, 8, 42).unwrap();
+        assert_eq!(m.load(addr, 8).unwrap(), 42);
+    }
+}

@@ -1,0 +1,479 @@
+//! Structural and type verification for TinyIR modules.
+//!
+//! The verifier enforces the invariants the rest of the pipeline (analysis,
+//! optimisation, codegen, Armor extraction) assumes:
+//!
+//! * every block ends with exactly one terminator, which is its last
+//!   instruction;
+//! * phis appear only at the head of a block and have one incoming per CFG
+//!   predecessor;
+//! * every value use is defined (SSA), arguments/globals are in range;
+//! * operand types match the instruction's expectations;
+//! * uses are dominated by definitions (checked via a lightweight dominance
+//!   computation over reachable blocks).
+
+use crate::instr::{Callee, InstrKind};
+use crate::module::{value_ty, Function, Module};
+use crate::types::Ty;
+use crate::value::{BlockId, InstrId, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the failure occurred.
+    pub func: String,
+    /// Description of the violated invariant.
+    pub msg: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "verify error in @{}: {}", self.func, self.msg)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify every defined function in the module.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for f in &m.funcs {
+        if !f.is_decl {
+            verify_function(m, f)?;
+        }
+    }
+    Ok(())
+}
+
+/// Verify a single function.
+pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
+    let err = |msg: String| Err(VerifyError { func: f.name.clone(), msg });
+
+    if f.blocks.is_empty() {
+        return err("function has no blocks".into());
+    }
+
+    // -- terminator discipline & def collection ---------------------------
+    let mut defined: HashSet<InstrId> = HashSet::new();
+    for (bid, block) in f.block_iter() {
+        if block.instrs.is_empty() {
+            return err(format!("{bid} is empty"));
+        }
+        for (pos, &iid) in block.instrs.iter().enumerate() {
+            if iid.0 as usize >= f.instrs.len() {
+                return err(format!("{bid} references out-of-range instr {iid:?}"));
+            }
+            if !defined.insert(iid) {
+                return err(format!("instruction {iid} appears twice"));
+            }
+            let instr = f.instr(iid);
+            let is_last = pos + 1 == block.instrs.len();
+            if instr.is_terminator() != is_last {
+                return err(format!(
+                    "{bid}: terminator placement wrong at position {pos} ({})",
+                    crate::display::instr_body_str(&instr.kind)
+                ));
+            }
+            if matches!(instr.kind, InstrKind::Phi { .. }) {
+                // Phis must be a prefix of the block.
+                let head = block.instrs[..pos]
+                    .iter()
+                    .all(|&p| matches!(f.instr(p).kind, InstrKind::Phi { .. }));
+                if !head {
+                    return err(format!("{bid}: phi not at block head"));
+                }
+            }
+        }
+    }
+
+    // -- CFG, reachability, predecessors ----------------------------------
+    let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    for (bid, block) in f.block_iter() {
+        let term = f.instr(*block.instrs.last().unwrap());
+        for s in term.successors() {
+            if s.0 as usize >= f.blocks.len() {
+                return err(format!("{bid} branches to out-of-range {s}"));
+            }
+            preds.entry(s).or_default().push(bid);
+        }
+    }
+    let mut reachable: HashSet<BlockId> = HashSet::new();
+    let mut queue = VecDeque::from([f.entry()]);
+    while let Some(b) = queue.pop_front() {
+        if !reachable.insert(b) {
+            continue;
+        }
+        let term = f.instr(*f.block(b).instrs.last().unwrap());
+        for s in term.successors() {
+            queue.push_back(s);
+        }
+    }
+
+    // -- per-instruction operand checks ------------------------------------
+    for (bid, block) in f.block_iter() {
+        if !reachable.contains(&bid) {
+            continue;
+        }
+        for &iid in &block.instrs {
+            let instr = f.instr(iid);
+            for v in instr.operands() {
+                match v {
+                    Value::Instr(d) => {
+                        if !defined.contains(&d) {
+                            return err(format!("{iid} uses undefined value {d}"));
+                        }
+                    }
+                    Value::Arg(n) => {
+                        if n as usize >= f.params.len() {
+                            return err(format!("{iid} uses out-of-range arg %a{n}"));
+                        }
+                    }
+                    Value::Global(g) => {
+                        if g.0 as usize >= m.globals.len() {
+                            return err(format!("{iid} uses out-of-range global @g{}", g.0));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            check_types(m, f, iid)?;
+            if let InstrKind::Phi { incomings, .. } = &f.instr(iid).kind {
+                let mut ps: Vec<BlockId> =
+                    preds.get(&bid).cloned().unwrap_or_default();
+                ps.sort();
+                ps.dedup();
+                let mut inc: Vec<BlockId> = incomings.iter().map(|(b, _)| *b).collect();
+                inc.sort();
+                let mut inc_d = inc.clone();
+                inc_d.dedup();
+                if inc_d.len() != inc.len() {
+                    return err(format!("{iid}: duplicate phi incoming blocks"));
+                }
+                let missing: Vec<_> = ps.iter().filter(|p| !inc.contains(p)).collect();
+                if !missing.is_empty() {
+                    return err(format!("{iid}: phi missing incoming for {missing:?}"));
+                }
+            }
+        }
+    }
+
+    // -- dominance of uses --------------------------------------------------
+    verify_dominance(f, &preds, &reachable)?;
+
+    Ok(())
+}
+
+fn check_types(m: &Module, f: &Function, iid: InstrId) -> Result<(), VerifyError> {
+    let err = |msg: String| Err(VerifyError { func: f.name.clone(), msg });
+    let instr = f.instr(iid);
+    let ty_of = |v: Value| value_ty(f, v);
+    match &instr.kind {
+        InstrKind::Load { ptr, .. } | InstrKind::Store { ptr, .. } => {
+            if ty_of(*ptr) != Some(Ty::Ptr) {
+                return err(format!("{iid}: memory address operand is not a pointer"));
+            }
+        }
+        InstrKind::Gep { base, index, elem_size } => {
+            if ty_of(*base) != Some(Ty::Ptr) {
+                return err(format!("{iid}: gep base is not a pointer"));
+            }
+            if !ty_of(*index).map(Ty::is_int).unwrap_or(false) {
+                return err(format!("{iid}: gep index is not an integer"));
+            }
+            if *elem_size == 0 {
+                return err(format!("{iid}: gep elem_size is zero"));
+            }
+        }
+        InstrKind::Bin { op, lhs, rhs, ty } => {
+            if op.is_float() != ty.is_float() {
+                return err(format!("{iid}: binop float-ness mismatch with type {ty}"));
+            }
+            for v in [lhs, rhs] {
+                if let Some(t) = ty_of(*v) {
+                    if t != *ty && !(t.is_ptr() && ty.is_int()) {
+                        return err(format!("{iid}: operand type {t} != result type {ty}"));
+                    }
+                }
+            }
+        }
+        InstrKind::Icmp { lhs, rhs, .. } => {
+            let (a, b) = (ty_of(*lhs), ty_of(*rhs));
+            if let (Some(a), Some(b)) = (a, b) {
+                if a.is_float() || b.is_float() {
+                    return err(format!("{iid}: icmp on float operands"));
+                }
+                if a != b {
+                    return err(format!("{iid}: icmp operand types differ ({a} vs {b})"));
+                }
+            }
+        }
+        InstrKind::Fcmp { lhs, rhs, .. } => {
+            for v in [lhs, rhs] {
+                if !ty_of(*v).map(Ty::is_float).unwrap_or(false) {
+                    return err(format!("{iid}: fcmp on non-float operand"));
+                }
+            }
+        }
+        InstrKind::CondBr { cond, .. } => {
+            if ty_of(*cond) != Some(Ty::I1) {
+                return err(format!("{iid}: condbr condition is not i1"));
+            }
+        }
+        InstrKind::Call { callee, args, ret_ty } => match callee {
+            Callee::Func(fid) => {
+                if fid.0 as usize >= m.funcs.len() {
+                    return err(format!("{iid}: call to out-of-range function"));
+                }
+                let callee_f = m.func(*fid);
+                if callee_f.params.len() != args.len() {
+                    return err(format!(
+                        "{iid}: call arity {} != {} for @{}",
+                        args.len(),
+                        callee_f.params.len(),
+                        callee_f.name
+                    ));
+                }
+                if callee_f.ret_ty != *ret_ty {
+                    return err(format!("{iid}: call return type mismatch"));
+                }
+            }
+            Callee::Intrinsic(i) => {
+                if i.arity() != args.len() {
+                    return err(format!("{iid}: intrinsic arity mismatch"));
+                }
+            }
+        },
+        InstrKind::Ret { val } => {
+            match (f.ret_ty, val) {
+                (Some(rt), Some(v)) => {
+                    if let Some(t) = ty_of(*v) {
+                        if t != rt {
+                            return err(format!("{iid}: return type {t} != {rt}"));
+                        }
+                    }
+                }
+                (None, None) => {}
+                _ => return err(format!("{iid}: return value presence mismatch")),
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Check that every non-phi use is dominated by its definition, using a
+/// simple iterative dominator computation (sufficient for verification; the
+/// `analysis` crate has the production dominator tree).
+fn verify_dominance(
+    f: &Function,
+    preds: &HashMap<BlockId, Vec<BlockId>>,
+    reachable: &HashSet<BlockId>,
+) -> Result<(), VerifyError> {
+    let err = |msg: String| Err(VerifyError { func: f.name.clone(), msg });
+    let nblocks = f.blocks.len();
+    // dom[b] = set of blocks dominating b, as bitset.
+    let full: Vec<bool> = vec![true; nblocks];
+    let mut dom: Vec<Vec<bool>> = vec![full; nblocks];
+    let entry = f.entry().0 as usize;
+    dom[entry] = vec![false; nblocks];
+    dom[entry][entry] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nblocks {
+            if b == entry || !reachable.contains(&BlockId(b as u32)) {
+                continue;
+            }
+            let mut newdom = vec![true; nblocks];
+            let empty = Vec::new();
+            let ps = preds.get(&BlockId(b as u32)).unwrap_or(&empty);
+            let mut any = false;
+            for p in ps {
+                if !reachable.contains(p) {
+                    continue;
+                }
+                any = true;
+                for i in 0..nblocks {
+                    newdom[i] = newdom[i] && dom[p.0 as usize][i];
+                }
+            }
+            if !any {
+                newdom = vec![false; nblocks];
+            }
+            newdom[b] = true;
+            if newdom != dom[b] {
+                dom[b] = newdom;
+                changed = true;
+            }
+        }
+    }
+
+    let owner = f.instr_blocks();
+    let mut pos_in_block: HashMap<InstrId, usize> = HashMap::new();
+    for (_, block) in f.block_iter() {
+        for (i, &iid) in block.instrs.iter().enumerate() {
+            pos_in_block.insert(iid, i);
+        }
+    }
+
+    for (bid, block) in f.block_iter() {
+        if !reachable.contains(&bid) {
+            continue;
+        }
+        for &iid in &block.instrs {
+            let instr = f.instr(iid);
+            if let InstrKind::Phi { incomings, .. } = &instr.kind {
+                // A phi use must be dominated by its def at the end of the
+                // incoming block.
+                for (inb, v) in incomings {
+                    if let Value::Instr(d) = v {
+                        if !reachable.contains(inb) {
+                            continue;
+                        }
+                        let db = owner[d.0 as usize];
+                        if !dom[inb.0 as usize][db.0 as usize] {
+                            return err(format!(
+                                "phi {iid}: incoming {v:?} from {inb} not dominated by def in {db}"
+                            ));
+                        }
+                    }
+                }
+                continue;
+            }
+            for v in instr.operands() {
+                if let Value::Instr(d) = v {
+                    let db = owner[d.0 as usize];
+                    if db == bid {
+                        if pos_in_block[&d] >= pos_in_block[&iid] {
+                            return err(format!("{iid} uses {d} before its definition"));
+                        }
+                    } else if !dom[bid.0 as usize][db.0 as usize] {
+                        return err(format!(
+                            "{iid} in {bid} uses {d} defined in non-dominating {db}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instr::{BinOp, Instr};
+
+    #[test]
+    fn builder_output_verifies() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define("f", vec![Ty::Ptr, Ty::I64], Some(Ty::F64), |fb| {
+            let acc = fb.alloca(Ty::F64, 1);
+            fb.store(Value::f64(0.0), acc);
+            fb.for_loop(Value::i64(0), fb.arg(1), |fb, iv| {
+                let x = fb.load_elem(fb.arg(0), iv, Ty::F64);
+                let a = fb.load(acc, Ty::F64);
+                let s = fb.fadd(a, x, Ty::F64);
+                fb.store(s, acc);
+            });
+            let r = fb.load(acc, Ty::F64);
+            fb.ret(Some(r));
+        });
+        let m = mb.finish();
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![], None);
+        let e = f.entry();
+        f.push_instr(e, Instr::new(InstrKind::Alloca { elem_ty: Ty::I64, count: 1 }));
+        m.add_func(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![], Some(Ty::I64));
+        let e = f.entry();
+        // %v0 = add %v1, 1   (uses %v1 before it's defined)
+        f.push_instr(
+            e,
+            Instr::new(InstrKind::Bin {
+                op: BinOp::Add,
+                lhs: Value::Instr(InstrId(1)),
+                rhs: Value::i64(1),
+                ty: Ty::I64,
+            }),
+        );
+        f.push_instr(
+            e,
+            Instr::new(InstrKind::Bin {
+                op: BinOp::Add,
+                lhs: Value::i64(1),
+                rhs: Value::i64(1),
+                ty: Ty::I64,
+            }),
+        );
+        f.push_instr(e, Instr::new(InstrKind::Ret { val: Some(Value::Instr(InstrId(0))) }));
+        m.add_func(f);
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("before its definition"), "{err}");
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![Ty::F64], Some(Ty::F64));
+        let e = f.entry();
+        // fadd with integer type annotation.
+        f.push_instr(
+            e,
+            Instr::new(InstrKind::Bin {
+                op: BinOp::FAdd,
+                lhs: Value::Arg(0),
+                rhs: Value::Arg(0),
+                ty: Ty::I64,
+            }),
+        );
+        f.push_instr(e, Instr::new(InstrKind::Ret { val: Some(Value::Arg(0)) }));
+        m.add_func(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_phi() {
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![], Some(Ty::I64));
+        let e = f.entry();
+        let bb1 = f.add_block("next");
+        f.push_instr(e, Instr::new(InstrKind::Br { target: bb1 }));
+        // Phi with no incoming for the entry predecessor.
+        f.push_instr(
+            bb1,
+            Instr::new(InstrKind::Phi { incomings: vec![], ty: Ty::I64 }),
+        );
+        f.push_instr(bb1, Instr::new(InstrKind::Ret { val: Some(Value::i64(0)) }));
+        m.add_func(f);
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("phi missing incoming"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_pointer_memory_operand() {
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![Ty::I64], Some(Ty::I64));
+        let e = f.entry();
+        f.push_instr(e, Instr::new(InstrKind::Load { ptr: Value::Arg(0), ty: Ty::I64 }));
+        f.push_instr(
+            e,
+            Instr::new(InstrKind::Ret { val: Some(Value::Instr(InstrId(0))) }),
+        );
+        m.add_func(f);
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("not a pointer"), "{err}");
+    }
+}

@@ -1,0 +1,61 @@
+//! A miniature §2-style fault-injection study over all five workloads:
+//! outcome classification (Table 2), symptom breakdown (Table 3) and
+//! manifestation latency (Table 4), printed side by side.
+//!
+//! ```sh
+//! cargo run --release --example fault_campaign -- 200
+//! ```
+
+use faultsim::{Campaign, CampaignConfig, FaultModel};
+use opt::OptLevel;
+
+fn main() {
+    let injections: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+    println!("{injections} injections per workload (single-bit flips)\n");
+    println!(
+        "{:>8}  {:>6} {:>5} {:>4} {:>4} | {:>7} {:>6} {:>7} {:>5} | {:>6} {:>6}",
+        "workload",
+        "benign",
+        "soft",
+        "sdc",
+        "hang",
+        "SIGSEGV",
+        "SIGBUS",
+        "SIGABRT",
+        "other",
+        "<=10",
+        "<=50"
+    );
+    for w in workloads::all() {
+        let app = care::compile(&w.module, OptLevel::O0);
+        let c = Campaign::prepare(&w, app, vec![]);
+        let r = c.run(&CampaignConfig {
+            injections,
+            model: FaultModel::SingleBit,
+            seed: 0x5EED,
+            ..CampaignConfig::default()
+        });
+        println!(
+            "{:>8}  {:>6} {:>5} {:>4} {:>4} | {:>7} {:>6} {:>7} {:>5} | {:>5.1}% {:>5.1}%",
+            w.name,
+            r.benign,
+            r.soft_failure,
+            r.sdc,
+            r.hang,
+            r.signals[0],
+            r.signals[1],
+            r.signals[2],
+            r.signals[3],
+            100.0 * r.latency_fraction_within(10),
+            100.0 * r.latency_fraction_within(50),
+        );
+    }
+    println!(
+        "\npaper shape check: soft failures are dominated by SIGSEGV, and the\n\
+         vast majority manifest within 50 dynamic instructions — the two\n\
+         observations CARE's design rests on (paper §2.1.2)."
+    );
+}

@@ -1,0 +1,6 @@
+//! Root package for the CARE reproduction workspace.
+//!
+//! This package exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. The actual library surface lives
+//! in the `care` crate (re-exported here for convenience).
+pub use care::*;
