@@ -1,0 +1,180 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` harness surface the
+//! bench crate uses, backed by a plain wall-clock timer. Like real
+//! criterion, when the binary is run without `--bench` (i.e. under
+//! `cargo test`) each benchmark executes exactly once as a smoke test;
+//! under `cargo bench` it runs `sample_size` timed samples and prints a
+//! median per-iteration time.
+
+use std::time::{Duration, Instant};
+
+/// Mirror of `criterion::BatchSize` (sizing is irrelevant to this harness).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// True when this process was launched by `cargo bench` (which appends
+/// `--bench`); false under `cargo test`, where benches run once.
+fn is_bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100, bench_mode: is_bench_mode() }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be > 0");
+        self.sample_size = n;
+        self
+    }
+
+    /// Mirror of `Criterion::measurement_time`; sampling here is
+    /// count-based, so the duration only caps how long one bench may run.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.to_string() }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if self.bench_mode { self.sample_size } else { 1 };
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, bench_mode: self.bench_mode };
+            f(&mut b);
+            if b.iters > 0 {
+                per_iter.push(b.elapsed / b.iters as u32);
+            }
+        }
+        if self.bench_mode {
+            per_iter.sort();
+            let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or_default();
+            println!("{id:<50} time: [{median:?}] ({} samples)", per_iter.len());
+        } else {
+            println!("{id}: ok (smoke run)");
+        }
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be > 0");
+        self.c.sample_size = n;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+    bench_mode: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // A fixed inner batch amortises timer overhead; one pass in test mode.
+        let n: u64 = if self.bench_mode { 10 } else { 1 };
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += n;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let n: u64 = if self.bench_mode { 10 } else { 1 };
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += n;
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let n: u64 = if self.bench_mode { 10 } else { 1 };
+        for _ in 0..n {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += n;
+    }
+}
+
+/// Mirror of `criterion::black_box` (the std hint is stable now).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,205 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! Implements the parallel-iterator surface the workspace actually uses
+//! (`into_par_iter().map/filter_map().collect()`) on top of
+//! `std::thread::scope` with a shared atomic work index. Output order is
+//! preserved, so seeded campaigns stay deterministic regardless of thread
+//! count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Number of worker threads to use for `n` items.
+fn worker_count(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+        .min(n)
+}
+
+/// Apply `f` to every item on a worker pool, preserving item order.
+fn par_apply<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = worker_count(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().unwrap();
+                let out = f(item);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().unwrap())
+        .collect()
+}
+
+/// Mirror of `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Mirror of `rayon::iter::ParallelIterator`, eager rather than lazy: each
+/// adapter runs its closure across the pool and yields a materialised,
+/// order-preserving `Vec`.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Produce all items (running any pending parallel work).
+    fn items(self) -> Vec<Self::Item>;
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Sync,
+    {
+        FilterMap { base: self, f }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        par_apply(self.items(), f);
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.items().into_iter().collect()
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.items().into_iter().sum()
+    }
+
+    fn count(self) -> usize {
+        self.items().len()
+    }
+}
+
+/// Base parallel iterator over already-materialised items.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+    fn items(self) -> Vec<R> {
+        par_apply(self.base.items(), self.f)
+    }
+}
+
+pub struct FilterMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for FilterMap<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> Option<R> + Sync,
+{
+    type Item = R;
+    fn items(self) -> Vec<R> {
+        par_apply(self.base.items(), self.f)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+macro_rules! range_into_par {
+    ($($ty:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$ty> {
+            type Item = $ty;
+            type Iter = VecIter<$ty>;
+            fn into_par_iter(self) -> VecIter<$ty> {
+                VecIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par!(u32, u64, usize);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_preserves_order_and_drops() {
+        let out: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter_map(|i| (i % 3 == 0).then_some(i))
+            .collect();
+        assert_eq!(out, (0..100).filter(|i| i % 3 == 0).collect::<Vec<_>>());
+    }
+}

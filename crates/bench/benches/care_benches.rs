@@ -6,6 +6,8 @@
 //! * `recovery_path`     — Figure 9: one Safeguard activation end-to-end
 //!   (diagnose → table → kernel → patch) on a real trapped process.
 //! * `campaign`          — Tables 2–4: injection-classification throughput.
+//! * `campaign_throughput` — end-to-end CARE coverage-campaign throughput
+//!   (snapshot-forking engine): full `Campaign::run` with `evaluate_care`.
 //! * `cluster_step`      — Figure 10: BSP virtual-time simulation of a
 //!   512-rank job.
 //! * `table_codec`       — recovery-table encode/decode (the protobuf
@@ -138,6 +140,23 @@ fn bench_campaign(c: &mut Criterion) {
     });
 }
 
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign_throughput");
+    for w in [workloads::hpccg::default(), workloads::gtcp::default()] {
+        let app = care::compile(&w.module, OptLevel::O1);
+        let campaign = Campaign::prepare(&w, app, vec![]);
+        let cfg = CampaignConfig {
+            injections: 50,
+            evaluate_care: true,
+            app_only: true,
+            seed: 7,
+            ..CampaignConfig::default()
+        };
+        g.bench_function(w.name, |b| b.iter(|| campaign.run(&cfg)));
+    }
+    g.finish();
+}
+
 fn bench_cluster(c: &mut Criterion) {
     let cfg = cluster::ClusterConfig::default();
     c.bench_function("cluster/512rank_100step_job", |b| {
@@ -159,6 +178,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_armor_pass, bench_normal_compile, bench_recovery_path,
-              bench_campaign, bench_cluster, bench_table_codec
+              bench_campaign, bench_campaign_throughput, bench_cluster,
+              bench_table_codec
 }
 criterion_main!(benches);

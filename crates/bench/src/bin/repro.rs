@@ -5,6 +5,8 @@
 //!
 //! experiments: table2 table3 table4 table5 table8 table9 table10 table11
 //!              fig7 fig9 fig10 fig12 all            (default: all)
+//!              bench-json   (explicit only: writes BENCH_campaign.json
+//!                            with campaign-throughput measurements)
 //! ```
 //!
 //! The default injection count (300 per workload) keeps a full regeneration
@@ -44,7 +46,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--injections N] [--seed S] [table2|table3|table4|table5|table8|table9|table10|table11|fig7|fig9|fig10|fig12|all]..."
+                    "usage: repro [--injections N] [--seed S] [table2|table3|table4|table5|table8|table9|table10|table11|fig7|fig9|fig10|fig12|bench-json|all]..."
                 );
                 std::process::exit(0);
             }
@@ -54,7 +56,70 @@ fn parse_args() -> Args {
     if experiments.is_empty() {
         experiments.push("all".into());
     }
+    const KNOWN: &[&str] = &[
+        "table2", "table3", "table4", "table5", "table8", "table9", "table10", "table11",
+        "fig7", "fig9", "fig10", "fig12", "bench-json", "all",
+    ];
+    for e in &experiments {
+        if !KNOWN.contains(&e.as_str()) {
+            eprintln!("error: unknown experiment '{e}' (see repro --help)");
+            std::process::exit(2);
+        }
+    }
     Args { injections, seed, experiments }
+}
+
+/// `repro bench-json`: time end-to-end CARE coverage campaigns on the
+/// throughput reference workloads and write the measurements to
+/// `BENCH_campaign.json` in the current directory (hand-rolled JSON; the
+/// container has no serde).
+fn bench_json(injections: usize, seed: u64) {
+    use std::fmt::Write as _;
+    use std::time::Instant;
+    eprintln!(
+        "[repro] timing CARE coverage campaigns ({injections} injections/workload)..."
+    );
+    let mut entries = Vec::new();
+    for w in [workloads::hpccg::default(), workloads::gtcp::default()] {
+        let p = prepare(&w, OptLevel::O1);
+        let t0 = Instant::now();
+        let r = coverage_campaign(&p, injections, FaultModel::SingleBit, seed);
+        let wall_s = t0.elapsed().as_secs_f64();
+        let mut e = String::new();
+        write!(
+            e,
+            "    {{\n      \"workload\": \"{}\",\n      \"opt_level\": \"O1\",\n      \
+             \"injections\": {},\n      \"classified\": {},\n      \
+             \"care_evaluated\": {},\n      \"care_covered\": {},\n      \
+             \"wall_s\": {:.6},\n      \"injections_per_sec\": {:.2},\n      \
+             \"simulated_instructions\": {},\n      \
+             \"simulated_instructions_per_sec\": {:.0}\n    }}",
+            p.name,
+            injections,
+            r.total(),
+            r.care_evaluated,
+            r.care_covered,
+            wall_s,
+            injections as f64 / wall_s,
+            r.simulated_steps,
+            r.simulated_steps as f64 / wall_s,
+        )
+        .unwrap();
+        eprintln!(
+            "[repro]   {}: {:.2} injections/sec, {:.2e} simulated instrs/sec",
+            p.name,
+            injections as f64 / wall_s,
+            r.simulated_steps as f64 / wall_s,
+        );
+        entries.push(e);
+    }
+    let json = format!(
+        "{{\n  \"campaign\": \"coverage (evaluate_care, app_only)\",\n  \
+         \"seed\": {seed},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_campaign.json", json).expect("write BENCH_campaign.json");
+    eprintln!("[repro] wrote BENCH_campaign.json");
 }
 
 fn main() {
@@ -62,6 +127,14 @@ fn main() {
     let want = |name: &str| {
         args.experiments.iter().any(|e| e == name || e == "all")
     };
+
+    // Explicit-only (not part of `all`): perf measurement artefact.
+    if args.experiments.iter().any(|e| e == "bench-json") {
+        bench_json(args.injections, args.seed);
+        if args.experiments.iter().all(|e| e == "bench-json") {
+            return;
+        }
+    }
 
     // §2 campaigns (single-bit, whole program) are shared by Tables 2-4.
     let mut s2: Option<Vec<(PreparedWorkload, CampaignReport)>> = None;

@@ -37,8 +37,8 @@
 pub mod pipeline;
 
 pub use pipeline::{
-    compile, compile_baseline, compile_with, memory_overhead, protected_process, BuildStats, CompiledApp,
-    MemoryOverhead,
+    build_process, compile, compile_baseline, compile_with, memory_overhead, protected_process,
+    BuildStats, CompiledApp, MemoryOverhead,
 };
 
 /// Convenient re-exports for downstream users.

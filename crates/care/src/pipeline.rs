@@ -11,6 +11,7 @@ use armor::{run_armor_with, ArmorConfig, ArmorOutput};
 use opt::{optimize, OptLevel, OptStats};
 use simx::{compile_module, MachineModule, ModuleId, Process};
 use safeguard::Safeguard;
+use std::sync::Arc;
 use std::time::Instant;
 use tinyir::Module;
 
@@ -28,10 +29,14 @@ pub struct BuildStats {
 }
 
 /// A CARE-compiled application or library module.
+///
+/// The machine module sits behind an `Arc` so that every process built from
+/// this app shares the one compiled copy — cloning a `CompiledApp` and
+/// building processes from it never duplicates code, debug data or IR.
 #[derive(Clone, Debug)]
 pub struct CompiledApp {
-    /// The machine code + debug data.
-    pub machine: MachineModule,
+    /// The machine code + debug data (shared, immutable).
+    pub machine: Arc<MachineModule>,
     /// Armor's artefacts (kernel library, recovery table, stats).
     pub armor: ArmorOutput,
     /// The optimisation level used.
@@ -72,7 +77,7 @@ pub fn compile_with(module: &Module, level: OptLevel, config: ArmorConfig) -> Co
     let cg_s = cg_t.elapsed().as_secs_f64();
     let normal_compile_s = (armor_t - t0).as_secs_f64() + cg_s;
     CompiledApp {
-        machine,
+        machine: Arc::new(machine),
         armor: armor_out,
         opt_level: level,
         build: BuildStats {
@@ -102,14 +107,25 @@ pub fn compile_baseline(module: &Module, level: OptLevel) -> (MachineModule, f64
     (machine, t0.elapsed().as_secs_f64())
 }
 
+/// Build a (started-but-not-running) process from a compiled executable and
+/// shared libraries. The single constructor every campaign, benchmark and
+/// test goes through: it only bumps `Arc` refcounts on the compiled modules,
+/// so per-injection process construction is O(globals + stack mapping).
+pub fn build_process<'a>(
+    exe: &CompiledApp,
+    libs: impl IntoIterator<Item = &'a CompiledApp>,
+) -> Process {
+    Process::new(
+        Arc::clone(&exe.machine),
+        libs.into_iter().map(|l| Arc::clone(&l.machine)).collect(),
+    )
+}
+
 /// Assemble a protected process from a compiled executable plus shared
 /// libraries, registering every module's recovery artefacts with a fresh
 /// Safeguard (the `LD_PRELOAD` moment).
 pub fn protected_process(exe: &CompiledApp, libs: &[&CompiledApp]) -> (Process, Safeguard) {
-    let process = Process::new(
-        exe.machine.clone(),
-        libs.iter().map(|l| l.machine.clone()).collect(),
-    );
+    let process = build_process(exe, libs.iter().copied());
     let mut sg = Safeguard::new();
     sg.protect(ModuleId(0), &exe.armor);
     for (i, lib) in libs.iter().enumerate() {
@@ -218,7 +234,7 @@ mod tests {
         let app = compile(&m, OptLevel::O1);
         assert!(app.armor.stats.num_kernels >= 2);
         assert!(!app.armor.die_requests.is_empty());
-        assert!(app.machine.debug.line_table.len() > 0);
+        assert!(!app.machine.debug.line_table.is_empty());
         assert!(app.build.normal_compile_s >= 0.0);
         assert!(app.build.armor_s > 0.0);
     }

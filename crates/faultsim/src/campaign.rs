@@ -5,12 +5,13 @@
 use crate::injector::{
     inject, pick_injection_point, FaultModel, InjectedInto, InjectionPoint,
 };
-use care::CompiledApp;
+use care::{build_process, CompiledApp};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use safeguard::{run_protected, ProtectedExit, Safeguard};
+use safeguard::{run_protected, DeclineKind, ProtectedExit, RecoveryIndex, Safeguard};
 use simx::{ModuleId, Process, Profile, RunExit, TrapKind};
+use std::sync::Arc;
 use workloads::Workload;
 
 /// Hardware-trap symptom classes of Table 3.
@@ -40,7 +41,7 @@ pub enum Outcome {
 }
 
 /// CARE's verdict on one SIGSEGV-producing injection (Figure 7 / 9 data).
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct CareResult {
     /// True when the protected run completed with bit-clean outputs.
     pub covered: bool,
@@ -48,8 +49,8 @@ pub struct CareResult {
     pub recoveries: u64,
     /// Total modelled recovery time.
     pub recovery_ms: f64,
-    /// Decline reason when not covered.
-    pub decline: Option<String>,
+    /// Decline reason kind when not covered.
+    pub decline: Option<DeclineKind>,
 }
 
 /// Everything recorded about one injection.
@@ -63,6 +64,9 @@ pub struct InjectionRecord {
     pub outcome: Outcome,
     /// Manifestation latency in dynamic instructions (soft failures only).
     pub latency: Option<u64>,
+    /// Dynamic instructions simulated on behalf of this injection
+    /// (unprotected run, plus the protected suffix for CARE evaluations).
+    pub sim_steps: u64,
     /// CARE evaluation (SIGSEGV injections when enabled).
     pub care: Option<CareResult>,
 }
@@ -89,6 +93,10 @@ pub struct CampaignConfig {
     pub patch_base_first: bool,
     /// Ablation: disable the §5.2 address-equality guard.
     pub skip_equality_guard: bool,
+    /// Retain every raw [`InjectionRecord`] in the report. Off by default:
+    /// large campaigns only need the aggregates, and the records dominate
+    /// the report's memory.
+    pub keep_records: bool,
 }
 
 impl Default for CampaignConfig {
@@ -103,16 +111,17 @@ impl Default for CampaignConfig {
             max_recoveries: 64,
             patch_base_first: false,
             skip_equality_guard: false,
+            keep_records: false,
         }
     }
 }
 
-/// A prepared campaign: compiled modules + golden data.
+/// A prepared campaign: compiled modules + golden data + the shared
+/// per-injection machinery (a pristine started process template and the
+/// recovery index), both built exactly once.
 pub struct Campaign {
     exe: CompiledApp,
     libs: Vec<CompiledApp>,
-    entry: String,
-    args: Vec<u64>,
     outputs: Vec<(String, u64)>,
     /// Golden output snapshots.
     golden_outputs: Vec<Vec<u8>>,
@@ -120,11 +129,18 @@ pub struct Campaign {
     pub golden_steps: u64,
     /// Execution-count profile from the golden run.
     pub profile: Profile,
+    /// A started-but-not-run process; every injection clones it (Arc-shared
+    /// image, copy-on-write memory) instead of re-loading the modules.
+    template: Process,
+    /// Recovery artefacts, encoded and keyed once; shared read-only across
+    /// the campaign's workers.
+    recovery: Arc<RecoveryIndex>,
 }
 
 impl Campaign {
     /// Compile-independent preparation: run the workload once fault-free
-    /// (with profiling) and snapshot its outputs.
+    /// (with profiling), snapshot its outputs, and set up the shared
+    /// injection machinery.
     pub fn prepare(workload: &Workload, exe: CompiledApp, libs: Vec<CompiledApp>) -> Campaign {
         let mut p = build_process(&exe, &libs);
         p.enable_profile();
@@ -141,15 +157,22 @@ impl Campaign {
                     .unwrap_or_else(|| panic!("output global {name} missing"))
             })
             .collect();
+        let mut template = build_process(&exe, &libs);
+        template.start(workload.entry, &workload.args);
+        let mut recovery = RecoveryIndex::new();
+        recovery.add(ModuleId(0), &exe.armor);
+        for (i, lib) in libs.iter().enumerate() {
+            recovery.add(ModuleId(i as u32 + 1), &lib.armor);
+        }
         Campaign {
             exe,
             libs,
-            entry: workload.entry.to_string(),
-            args: workload.args.clone(),
             outputs: workload.outputs.clone(),
             golden_outputs,
             golden_steps: p.steps,
             profile: p.profile.take().expect("profile enabled"),
+            template,
+            recovery: Arc::new(recovery),
         }
     }
 
@@ -171,8 +194,8 @@ impl Campaign {
         // The paper's fault model corrupts *destination operands* (a
         // register or memory cell); control transfers have neither, so they
         // are not injection targets.
-        let mods: Vec<&simx::MachineModule> = std::iter::once(&self.exe.machine)
-            .chain(self.libs.iter().map(|l| &l.machine))
+        let mods: Vec<&simx::MachineModule> = std::iter::once(self.exe.machine.as_ref())
+            .chain(self.libs.iter().map(|l| l.machine.as_ref()))
             .collect();
         let eligible = |m: usize, f: usize, i: usize| -> bool {
             mods.get(m)
@@ -185,9 +208,8 @@ impl Campaign {
             pick_injection_point(&self.profile, &mut rng, modules.as_deref(), &eligible)?;
 
         // --- unprotected run: raw manifestation (§2 methodology) ---------
-        let mut p = build_process(&self.exe, &self.libs);
+        let mut p = self.template.clone();
         p.fuel = self.golden_steps.saturating_mul(cfg.hang_factor).max(1_000_000);
-        p.start(&self.entry, &self.args);
         p.break_at = Some((point.module, point.func, point.inst, point.nth));
         match p.run() {
             RunExit::BreakHit => {}
@@ -195,6 +217,10 @@ impl Campaign {
             // unreachable for deterministic programs; be safe anyway.
             _ => return None,
         }
+        // Snapshot-fork the paused process *before* corrupting it: the
+        // protected CARE evaluation resumes from this fork instead of
+        // re-simulating the whole prefix.
+        let paused = cfg.evaluate_care.then(|| p.clone());
         let mut flip_rng = rng.clone();
         let target = inject(&mut p, point, cfg.model, &mut flip_rng);
         if target == InjectedInto::Skipped {
@@ -218,54 +244,49 @@ impl Campaign {
             },
             RunExit::BreakHit => unreachable!("breakpoint already consumed"),
         };
+        let mut sim_steps = p.steps;
 
-        // --- protected re-run for SIGSEGV injections (§5 methodology) ----
-        let care = if cfg.evaluate_care && outcome == Outcome::SoftFailure(Signal::Segv) {
-            let mut p = build_process(&self.exe, &self.libs);
-            p.fuel = self.golden_steps.saturating_mul(cfg.hang_factor).max(1_000_000);
-            p.start(&self.entry, &self.args);
-            p.break_at = Some((point.module, point.func, point.inst, point.nth));
-            match p.run() {
-                RunExit::BreakHit => {}
-                _ => return None,
-            }
-            let mut flip_rng = rng.clone();
-            inject(&mut p, point, cfg.model, &mut flip_rng);
-            let mut sg = Safeguard::new();
-            sg.patch_base_first = cfg.patch_base_first;
-            sg.skip_equality_guard = cfg.skip_equality_guard;
-            sg.protect(ModuleId(0), &self.exe.armor);
-            for (i, lib) in self.libs.iter().enumerate() {
-                sg.protect(ModuleId(i as u32 + 1), &lib.armor);
-            }
-            Some(match run_protected(&mut p, &mut sg, cfg.max_recoveries) {
-                ProtectedExit::Completed { recoveries, recovery_ms, .. } => {
-                    let clean = self.outputs_clean(&p);
-                    CareResult {
-                        covered: clean && recoveries > 0,
-                        recoveries,
-                        recovery_ms,
-                        decline: None,
+        // --- protected run for SIGSEGV injections (§5 methodology):
+        // resume the pre-injection fork, repeat the same flip, and let
+        // Safeguard handle the fallout -------------------------------------
+        let care = if outcome == Outcome::SoftFailure(Signal::Segv) {
+            paused.map(|mut p| {
+                let mut flip_rng = rng.clone();
+                inject(&mut p, point, cfg.model, &mut flip_rng);
+                let mut sg = Safeguard::with_index(Arc::clone(&self.recovery));
+                sg.patch_base_first = cfg.patch_base_first;
+                sg.skip_equality_guard = cfg.skip_equality_guard;
+                let care = match run_protected(&mut p, &mut sg, cfg.max_recoveries) {
+                    ProtectedExit::Completed { recoveries, recovery_ms, .. } => {
+                        let clean = self.outputs_clean(&p);
+                        CareResult {
+                            covered: clean && recoveries > 0,
+                            recoveries,
+                            recovery_ms,
+                            decline: None,
+                        }
                     }
-                }
-                ProtectedExit::Crashed { reason, recoveries, .. } => CareResult {
-                    covered: false,
-                    recoveries,
-                    recovery_ms: 0.0,
-                    decline: Some(format!("{reason:?}")),
-                },
-                ProtectedExit::Hung => CareResult {
-                    covered: false,
-                    recoveries: 0,
-                    recovery_ms: 0.0,
-                    decline: Some("Hang".into()),
-                },
+                    ProtectedExit::Crashed { reason, recoveries, .. } => CareResult {
+                        covered: false,
+                        recoveries,
+                        recovery_ms: 0.0,
+                        decline: Some(reason.kind()),
+                    },
+                    ProtectedExit::Hung => CareResult {
+                        covered: false,
+                        recoveries: 0,
+                        recovery_ms: 0.0,
+                        decline: Some(DeclineKind::Hang),
+                    },
+                };
+                sim_steps += p.steps - steps_at_injection;
+                care
             })
         } else {
             None
         };
 
-        Some(InjectionRecord { point, target, outcome, latency, care })
+        Some(InjectionRecord { point, target, outcome, latency, sim_steps, care })
     }
 
     /// Run the full campaign (rayon-parallel across injections).
@@ -274,15 +295,12 @@ impl Campaign {
             .into_par_iter()
             .filter_map(|i| self.run_one(cfg, i))
             .collect();
-        CampaignReport::from_records(records)
+        let mut report = CampaignReport::from_records(records);
+        if !cfg.keep_records {
+            report.records = Vec::new();
+        }
+        report
     }
-}
-
-fn build_process(exe: &CompiledApp, libs: &[CompiledApp]) -> Process {
-    Process::new(
-        exe.machine.clone(),
-        libs.iter().map(|l| l.machine.clone()).collect(),
-    )
 }
 
 fn signal_of(kind: TrapKind) -> Signal {
@@ -325,8 +343,12 @@ pub struct CampaignReport {
     /// Safeguard activations across covered runs.
     pub total_recoveries: u64,
     /// Decline-reason histogram of uncovered runs.
-    pub declines: std::collections::HashMap<String, usize>,
-    /// All raw records.
+    pub declines: std::collections::HashMap<DeclineKind, usize>,
+    /// Total dynamic instructions simulated across all injections (the
+    /// denominator of simulated-instructions/sec throughput).
+    pub simulated_steps: u64,
+    /// Raw records; populated only when [`CampaignConfig::keep_records`]
+    /// is set.
     pub records: Vec<InjectionRecord>,
 }
 
@@ -359,14 +381,15 @@ impl CampaignReport {
                     }
                 }
             }
+            r.simulated_steps += rec.sim_steps;
             if let Some(c) = &rec.care {
                 r.care_evaluated += 1;
                 if c.covered {
                     r.care_covered += 1;
                     r.recovery_times_ms.push(c.recovery_ms);
                     r.total_recoveries += c.recoveries;
-                } else if let Some(d) = &c.decline {
-                    *r.declines.entry(d.clone()).or_default() += 1;
+                } else if let Some(d) = c.decline {
+                    *r.declines.entry(d).or_default() += 1;
                 } else if c.recoveries > 0 {
                     r.care_survived_with_sdc += 1;
                 }

@@ -5,7 +5,7 @@
 #[cfg(test)]
 mod tests {
     use crate::driver::{run_protected, ProtectedExit};
-    use crate::runtime::{DeclineReason, Safeguard};
+    use crate::runtime::{DeclineKind, DeclineReason, Safeguard};
     use armor::run_armor;
     use simx::{compile_module, ModuleId, Process, RunExit};
     use tinyir::builder::ModuleBuilder;
@@ -157,7 +157,7 @@ mod tests {
         let _ = run_protected(&mut p, &mut sg, 8);
         assert_eq!(sg.stats.activations, 1);
         assert_eq!(sg.stats.recovered, 0);
-        assert_eq!(sg.stats.declined.get("UnprotectedModule"), Some(&1));
+        assert_eq!(sg.stats.declined.get(&DeclineKind::UnprotectedModule), Some(&1));
     }
 
     #[test]

@@ -14,8 +14,8 @@ pub mod runtime;
 pub use cost::{CostModel, RecoveryTime};
 pub use driver::{run_protected, ProtectedExit};
 pub use runtime::{
-    compute_patch, compute_patch_base_first, DeclineReason, RecoveryOutcome, Safeguard, SafeguardStats,
-    SAFEGUARD_RESIDENT_BYTES,
+    compute_patch, compute_patch_base_first, DeclineKind, DeclineReason, RecoveryIndex,
+    RecoveryOutcome, Safeguard, SafeguardStats, SAFEGUARD_RESIDENT_BYTES,
 };
 
 mod hardening;

@@ -28,6 +28,7 @@ use armor::{ArmorOutput, ParamSpec, RecoveryKey, RecoveryTable};
 use simx::cpu::effective_addr;
 use simx::{MemOp, ModuleId, Process, Trap, TrapKind, VarPlace, FP};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 use tinyir::mem::Memory;
 use tinyir::Module;
 
@@ -66,6 +67,66 @@ pub enum DeclineReason {
     UnpatchableOperand,
 }
 
+impl DeclineReason {
+    /// The payload-free kind of this reason (histogram key).
+    pub fn kind(&self) -> DeclineKind {
+        match self {
+            DeclineReason::NotASegv => DeclineKind::NotASegv,
+            DeclineReason::UnknownPc => DeclineKind::UnknownPc,
+            DeclineReason::UnprotectedModule => DeclineKind::UnprotectedModule,
+            DeclineReason::NoLineInfo => DeclineKind::NoLineInfo,
+            DeclineReason::NoKernelForKey(_) => DeclineKind::NoKernelForKey,
+            DeclineReason::BadTable(_) => DeclineKind::BadTable,
+            DeclineReason::ParamUnavailable(_) => DeclineKind::ParamUnavailable,
+            DeclineReason::ParamFetchFault => DeclineKind::ParamFetchFault,
+            DeclineReason::KernelFault => DeclineKind::KernelFault,
+            DeclineReason::SameAddress => DeclineKind::SameAddress,
+            DeclineReason::NoMemOperand => DeclineKind::NoMemOperand,
+            DeclineReason::UnpatchableOperand => DeclineKind::UnpatchableOperand,
+        }
+    }
+}
+
+/// Payload-free decline classification: what the statistics count. Cheap to
+/// copy and hash, unlike the diagnostic `DeclineReason` payloads that used
+/// to be rendered into strings on every decline.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DeclineKind {
+    /// See [`DeclineReason::NotASegv`].
+    NotASegv,
+    /// See [`DeclineReason::UnknownPc`].
+    UnknownPc,
+    /// See [`DeclineReason::UnprotectedModule`].
+    UnprotectedModule,
+    /// See [`DeclineReason::NoLineInfo`].
+    NoLineInfo,
+    /// See [`DeclineReason::NoKernelForKey`].
+    NoKernelForKey,
+    /// See [`DeclineReason::BadTable`].
+    BadTable,
+    /// See [`DeclineReason::ParamUnavailable`].
+    ParamUnavailable,
+    /// See [`DeclineReason::ParamFetchFault`].
+    ParamFetchFault,
+    /// See [`DeclineReason::KernelFault`].
+    KernelFault,
+    /// See [`DeclineReason::SameAddress`].
+    SameAddress,
+    /// See [`DeclineReason::NoMemOperand`].
+    NoMemOperand,
+    /// See [`DeclineReason::UnpatchableOperand`].
+    UnpatchableOperand,
+    /// Campaign-level: the protected run exhausted its instruction budget
+    /// (no single trap declined; the run as a whole did not survive).
+    Hang,
+}
+
+impl std::fmt::Display for DeclineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
 /// Outcome of one `SIGSEGV` delivery.
 #[derive(Clone, PartialEq, Debug)]
 pub enum RecoveryOutcome {
@@ -85,8 +146,8 @@ pub struct SafeguardStats {
     pub activations: u64,
     /// Successful repairs.
     pub recovered: u64,
-    /// Declines by reason.
-    pub declined: HashMap<String, u64>,
+    /// Declines by reason kind.
+    pub declined: HashMap<DeclineKind, u64>,
     /// Sum of modelled recovery milliseconds.
     pub total_recovery_ms: f64,
     /// Wall-clock seconds actually spent inside the handler.
@@ -95,15 +156,75 @@ pub struct SafeguardStats {
 
 /// A module registered for protection: the encoded recovery table plus the
 /// kernel library source.
-struct ProtectedModule {
+#[derive(Debug)]
+struct IndexedModule {
     encoded_table: Vec<u8>,
+    /// Decoded table, memoized on the first fault that needs it (the real
+    /// runtime holds only encoded bytes until a fault happens; we keep the
+    /// decode *result* so a campaign decodes each table at most once per
+    /// index, not once per trap).
+    decoded: OnceLock<Result<RecoveryTable, String>>,
     kernel_module: Module,
     kernel_count: usize,
 }
 
+impl IndexedModule {
+    fn table(&self) -> &Result<RecoveryTable, String> {
+        self.decoded
+            .get_or_init(|| RecoveryTable::decode(&self.encoded_table))
+    }
+}
+
+impl Clone for IndexedModule {
+    fn clone(&self) -> IndexedModule {
+        IndexedModule {
+            encoded_table: self.encoded_table.clone(),
+            // The memo travels with the clone; a clash-free OnceLock clone.
+            decoded: self.decoded.clone(),
+            kernel_module: self.kernel_module.clone(),
+            kernel_count: self.kernel_count,
+        }
+    }
+}
+
+/// The keyed recovery artefacts for every protected module of a process
+/// layout — built once (e.g. per campaign) and shared read-only across
+/// however many `Safeguard` instances evaluate injections concurrently.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryIndex {
+    modules: HashMap<u32, IndexedModule>,
+}
+
+impl RecoveryIndex {
+    /// An empty index (no module protected).
+    pub fn new() -> RecoveryIndex {
+        RecoveryIndex::default()
+    }
+
+    /// Register Armor's output for the module loaded as `module_id`.
+    pub fn add(&mut self, module_id: ModuleId, armor_out: &ArmorOutput) {
+        self.modules.insert(
+            module_id.0,
+            IndexedModule {
+                encoded_table: armor_out.table.encode(),
+                decoded: OnceLock::new(),
+                kernel_module: armor_out.kernel_module.clone(),
+                kernel_count: armor_out.stats.num_kernels,
+            },
+        );
+    }
+
+    /// Total bytes held for protection artefacts (tables; kernels live on
+    /// disk until a fault, per the lazy-loading design).
+    pub fn table_bytes(&self) -> u64 {
+        self.modules.values().map(|p| p.encoded_table.len() as u64).sum()
+    }
+}
+
 /// The Safeguard runtime.
 pub struct Safeguard {
-    protected: HashMap<u32, ProtectedModule>,
+    /// Protection artefacts, shareable between Safeguard instances.
+    index: Arc<RecoveryIndex>,
     /// Cost model for the simulated latencies.
     pub cost: CostModel,
     /// Ablation: patch the base register first instead of the index
@@ -128,8 +249,15 @@ impl Safeguard {
     /// of the `LD_PRELOAD` constructor calling `sigaction` (a few
     /// microseconds; nothing else happens until a fault).
     pub fn new() -> Safeguard {
+        Safeguard::with_index(Arc::new(RecoveryIndex::new()))
+    }
+
+    /// Install the handler over a pre-built (possibly shared) recovery
+    /// index. Campaigns build the index once in preparation and hand every
+    /// per-injection Safeguard a clone of the same `Arc`.
+    pub fn with_index(index: Arc<RecoveryIndex>) -> Safeguard {
         Safeguard {
-            protected: HashMap::new(),
+            index,
             cost: CostModel::default(),
             patch_base_first: false,
             skip_equality_guard: false,
@@ -140,22 +268,16 @@ impl Safeguard {
 
     /// Register Armor's output for the module loaded as `module_id` in the
     /// target process (the executable and each CARE-built library register
-    /// separately, as in §5.5's BLAS experiment).
+    /// separately, as in §5.5's BLAS experiment). Unshares the index if it
+    /// was shared.
     pub fn protect(&mut self, module_id: ModuleId, armor_out: &ArmorOutput) {
-        self.protected.insert(
-            module_id.0,
-            ProtectedModule {
-                encoded_table: armor_out.table.encode(),
-                kernel_module: armor_out.kernel_module.clone(),
-                kernel_count: armor_out.stats.num_kernels,
-            },
-        );
+        Arc::make_mut(&mut self.index).add(module_id, armor_out);
     }
 
     /// Total bytes held for protection artefacts (tables; kernels live on
     /// disk until a fault, per the lazy-loading design).
     pub fn table_bytes(&self) -> u64 {
-        self.protected.values().map(|p| p.encoded_table.len() as u64).sum()
+        self.index.table_bytes()
     }
 
     /// Algorithm 1. `process` must be frozen at a trap.
@@ -170,11 +292,7 @@ impl Safeguard {
                 self.stats.total_recovery_ms += time.total_ms();
             }
             RecoveryOutcome::NotRecovered(r) => {
-                *self
-                    .stats
-                    .declined
-                    .entry(format!("{r:?}").split('(').next().unwrap_or("?").to_string())
-                    .or_default() += 1;
+                *self.stats.declined.entry(r.kind()).or_default() += 1;
             }
         }
         out
@@ -192,7 +310,7 @@ impl Safeguard {
             return NotRecovered(DeclineReason::UnknownPc);
         };
         time.diagnose_ms += self.cost.diagnose_ms;
-        let Some(prot) = self.protected.get(&mid.0) else {
+        let Some(prot) = self.index.modules.get(&mid.0) else {
             return NotRecovered(DeclineReason::UnprotectedModule);
         };
 
@@ -203,10 +321,13 @@ impl Safeguard {
         };
         let key = RecoveryKey::for_loc(&lm.module.ir, loc);
 
-        // (4) Decode the table and look up the kernel.
-        let table = match RecoveryTable::decode(&prot.encoded_table) {
+        // (4) Decode the table (memoized across traps) and look up the
+        // kernel. The *modelled* decode cost is still charged per trap —
+        // the real runtime re-decodes on each fault — so recovery-time
+        // figures are unchanged; only the simulator's own wall clock wins.
+        let table = match prot.table() {
             Ok(t) => t,
-            Err(e) => return NotRecovered(DeclineReason::BadTable(e)),
+            Err(e) => return NotRecovered(DeclineReason::BadTable(e.clone())),
         };
         time.table_ms +=
             (prot.encoded_table.len() as f64 / 1024.0) * self.cost.table_decode_per_kib_ms;

@@ -8,10 +8,11 @@
 //! precisely the `ucontext_t` dance of the paper's runtime.
 
 use crate::image::{
-    LoadedModule, MachineModule, ModuleId, ProcessImage, DATA_BASE, EXE_BASE, HEAP_BASE,
-    LIB_BASE, STACK_SIZE, STACK_TOP,
+    LoadedModule, MachineFunction, MachineModule, ModuleId, ProcessImage, DATA_BASE, EXE_BASE,
+    HEAP_BASE, LIB_BASE, STACK_SIZE, STACK_TOP,
 };
 use crate::isa::{MInst, MemOp, Reg, Src, FP, NUM_REGS, SP};
+use std::sync::Arc;
 use tinyir::interp::{eval_bin, eval_cast, eval_fcmp, eval_icmp, float_of_bits, sext_bits};
 use tinyir::mem::{MemFault, Memory, PagedMemory, PAGE_SIZE};
 use tinyir::{FuncId, Intrinsic, Ty};
@@ -91,10 +92,16 @@ pub struct Frame {
 pub type Profile = Vec<Vec<Vec<u64>>>;
 
 /// A simulated process: image + memory + frames.
+///
+/// `Clone` is a *snapshot fork*: the image is `Arc`-shared, memory pages are
+/// copy-on-write, and only the frames (registers + small metadata) are
+/// deep-copied — so forking a paused process at an injection point is cheap
+/// regardless of workload size.
 #[derive(Clone)]
 pub struct Process {
-    /// Loaded modules and symbol resolution.
-    pub image: ProcessImage,
+    /// Loaded modules and symbol resolution (shared, immutable after
+    /// construction).
+    pub image: Arc<ProcessImage>,
     /// The paged address space.
     pub mem: PagedMemory,
     /// Call stack (last = current frame).
@@ -119,13 +126,16 @@ pub struct Process {
 impl Process {
     /// Build a process from an executable and a set of shared libraries.
     /// Maps and initialises each module's globals and the stack.
-    pub fn new(exe: MachineModule, libs: Vec<MachineModule>) -> Process {
+    ///
+    /// The modules are shared, not copied: building a process from an
+    /// already-compiled app is O(globals), so campaigns can construct one
+    /// per injection without re-cloning code, debug data or IR.
+    pub fn new(exe: impl Into<Arc<MachineModule>>, libs: Vec<Arc<MachineModule>>) -> Process {
         let mut mem = PagedMemory::new();
         let mut image = ProcessImage::default();
         let mut data_base = DATA_BASE;
         let mut code_base = EXE_BASE;
-        let n = 1 + libs.len();
-        for (i, module) in std::iter::once(exe).chain(libs).enumerate() {
+        for (i, module) in std::iter::once(exe.into()).chain(libs).enumerate() {
             let global_addrs =
                 tinyir::interp::layout_globals(&module.ir, &mut mem, data_base);
             data_base = global_addrs
@@ -140,13 +150,14 @@ impl Process {
             });
             code_base = if i == 0 { LIB_BASE } else { code_base + 0x0100_0000 };
         }
-        let _ = n;
         image.link();
         // Map the stack eagerly (its pages never fault; corrupted in-stack
         // addresses corrupt data instead, like a real contiguous stack).
+        // With copy-on-write pages this maps 32 MiB of zero-page aliases
+        // without allocating.
         mem.map_region(STACK_TOP - STACK_SIZE, STACK_SIZE);
         Process {
-            image,
+            image: Arc::new(image),
             mem,
             frames: Vec::new(),
             sp: STACK_TOP,
@@ -295,9 +306,16 @@ impl Process {
     }
 
     /// Run until completion, trap, or breakpoint.
+    ///
+    /// The hot loop holds its own handle on the (immutable) image so each
+    /// step can borrow the current instruction in place instead of cloning
+    /// it, and caches the executing function across steps so straight-line
+    /// code pays no module/function lookups.
     pub fn run(&mut self) -> RunExit {
+        let image = Arc::clone(&self.image);
+        let mut cursor: FrameCursor<'_> = None;
         loop {
-            match self.step() {
+            match self.step_in(&image, &mut cursor) {
                 StepOut::Continue => {}
                 StepOut::Done(v) => return RunExit::Done(v),
                 StepOut::Trap(t) => {
@@ -309,18 +327,35 @@ impl Process {
         }
     }
 
-    fn step(&mut self) -> StepOut {
+    fn step_in<'i>(
+        &mut self,
+        image: &'i ProcessImage,
+        cursor: &mut FrameCursor<'i>,
+    ) -> StepOut {
         let Some(frame) = self.frames.last() else {
             return StepOut::Done(None);
         };
         let (mid, fid, idx) = (frame.module, frame.func, frame.idx);
-        let pc = self.pc();
-        let mf = &self.image.modules[mid.0 as usize].module.funcs[fid.0 as usize];
+        // Function lookup is cached across steps; it changes only on
+        // call/return (and a recursive call re-resolves to the same entry).
+        let mf = match cursor {
+            Some((cm, cf, mf)) if *cm == mid && *cf == fid => *mf,
+            _ => {
+                let mf = &image.modules[mid.0 as usize].module.funcs[fid.0 as usize];
+                *cursor = Some((mid, fid, mf));
+                mf
+            }
+        };
+        // The PC is only needed on (rare) trap exits; avoid the address
+        // arithmetic on the hot path.
+        let pc = || image.addr_of(mid, fid, idx);
         if idx >= mf.instrs.len() {
             // Wild PC (corrupted control flow): invalid instruction fetch.
+            let pc = pc();
             return StepOut::Trap(Trap { kind: TrapKind::Segv(pc), pc });
         }
         if self.fuel == 0 {
+            let pc = pc();
             return StepOut::Trap(Trap { kind: TrapKind::OutOfFuel, pc });
         }
         self.fuel -= 1;
@@ -341,27 +376,27 @@ impl Process {
             _ => false,
         };
 
-        let inst = mf.instrs[idx].clone();
+        let inst = &mf.instrs[idx];
         let fi = self.frames.len() - 1;
-        let trap = |k: TrapKind| StepOut::Trap(Trap { kind: k, pc });
+        let trap = |k: TrapKind| StepOut::Trap(Trap { kind: k, pc: pc() });
         let memtrap = |e: MemFault| {
             StepOut::Trap(Trap {
                 kind: match e {
                     MemFault::Unmapped(a) => TrapKind::Segv(a),
                     MemFault::Misaligned(a) => TrapKind::Bus(a),
                 },
-                pc,
+                pc: pc(),
             })
         };
 
         let mut advanced = false;
         match inst {
             MInst::Mov { dst, src, size, sext } => {
-                let mut v = match self.eval_src(fi, src) {
+                let mut v = match self.eval_src(fi, *src) {
                     Ok(v) => v,
                     Err(e) => return memtrap(e),
                 };
-                if sext && size < 8 {
+                if *sext && *size < 8 {
                     let ty = match size {
                         1 => Ty::I8,
                         2 => Ty::I16,
@@ -374,7 +409,7 @@ impl Process {
             MInst::Store { src, mem, size } => {
                 let v = self.frames[fi].regs[src.0 as usize];
                 let addr = mem.effective(|r| self.frames[fi].regs[r.0 as usize]);
-                if let Err(e) = self.mem.store(addr, size as u32, v) {
+                if let Err(e) = self.mem.store(addr, *size as u32, v) {
                     return memtrap(e);
                 }
             }
@@ -384,35 +419,35 @@ impl Process {
             }
             MInst::Bin { op, dst, lhs, rhs, ty } => {
                 let l = self.frames[fi].regs[lhs.0 as usize];
-                let r = match self.eval_src(fi, rhs) {
+                let r = match self.eval_src(fi, *rhs) {
                     Ok(v) => v,
                     Err(e) => return memtrap(e),
                 };
-                match eval_bin(op, l, r, ty) {
+                match eval_bin(*op, l, r, *ty) {
                     Ok(v) => self.frames[fi].regs[dst.0 as usize] = v,
                     Err(_) => return trap(TrapKind::Fpe),
                 }
             }
             MInst::Icmp { pred, dst, lhs, rhs, ty } => {
                 let l = self.frames[fi].regs[lhs.0 as usize];
-                let r = match self.eval_src(fi, rhs) {
+                let r = match self.eval_src(fi, *rhs) {
                     Ok(v) => v,
                     Err(e) => return memtrap(e),
                 };
-                self.frames[fi].regs[dst.0 as usize] = eval_icmp(pred, l, r, ty) as u64;
+                self.frames[fi].regs[dst.0 as usize] = eval_icmp(*pred, l, r, *ty) as u64;
             }
             MInst::Fcmp { pred, dst, lhs, rhs, ty } => {
                 let l = self.frames[fi].regs[lhs.0 as usize];
-                let r = match self.eval_src(fi, rhs) {
+                let r = match self.eval_src(fi, *rhs) {
                     Ok(v) => v,
                     Err(e) => return memtrap(e),
                 };
                 self.frames[fi].regs[dst.0 as usize] =
-                    eval_fcmp(pred, float_of_bits(l, ty), float_of_bits(r, ty)) as u64;
+                    eval_fcmp(*pred, float_of_bits(l, *ty), float_of_bits(r, *ty)) as u64;
             }
             MInst::Cast { op, dst, src, from, to } => {
                 let v = self.frames[fi].regs[src.0 as usize];
-                self.frames[fi].regs[dst.0 as usize] = eval_cast(op, v, from, to);
+                self.frames[fi].regs[dst.0 as usize] = eval_cast(*op, v, *from, *to);
             }
             MInst::Select { dst, cond, t, f } => {
                 let c = self.frames[fi].regs[cond.0 as usize] & 1;
@@ -424,21 +459,21 @@ impl Process {
                 self.frames[fi].regs[dst.0 as usize] = v;
             }
             MInst::Jmp { target } => {
-                self.frames[fi].idx = target as usize;
+                self.frames[fi].idx = *target as usize;
                 advanced = true;
             }
             MInst::Jnz { cond, then_t, else_t } => {
                 let c = self.frames[fi].regs[cond.0 as usize] & 1;
-                self.frames[fi].idx = if c != 0 { then_t } else { else_t } as usize;
+                self.frames[fi].idx = *(if c != 0 { then_t } else { else_t }) as usize;
                 advanced = true;
             }
             MInst::GetArg { dst, idx: a } => {
-                let v = self.frames[fi].args.get(a as usize).copied().unwrap_or(0);
+                let v = self.frames[fi].args.get(*a as usize).copied().unwrap_or(0);
                 self.frames[fi].regs[dst.0 as usize] = v;
             }
             MInst::Call { callee, args, dst } => {
                 let mut argv = Vec::with_capacity(args.len());
-                for s in &args {
+                for s in args {
                     match self.eval_src(fi, *s) {
                         Ok(v) => argv.push(v),
                         Err(e) => return memtrap(e),
@@ -447,21 +482,21 @@ impl Process {
                 // Advance the caller past the call before pushing the frame.
                 self.frames[fi].idx += 1;
                 advanced = true;
-                if let Err(t) = self.push_frame(mid, callee, argv, dst) {
+                if let Err(t) = self.push_frame(mid, *callee, argv, *dst) {
                     return StepOut::Trap(t);
                 }
             }
             MInst::CallIntr { which, args, dst } => {
                 let mut argv = Vec::with_capacity(args.len());
-                for s in &args {
+                for s in args {
                     match self.eval_src(fi, *s) {
                         Ok(v) => argv.push(v),
                         Err(e) => return memtrap(e),
                     }
                 }
-                match self.eval_intrinsic(which, &argv) {
+                match self.eval_intrinsic(*which, &argv) {
                     Ok(r) => {
-                        if let (Some(d), Some(v)) = (dst, r) {
+                        if let (Some(d), Some(v)) = (*dst, r) {
                             self.frames[fi].regs[d.0 as usize] = v;
                         }
                     }
@@ -550,6 +585,10 @@ enum StepOut {
     Trap(Trap),
     Break,
 }
+
+/// Cached `(module, func, compiled function)` of the executing frame,
+/// invalidated when the top frame changes identity.
+type FrameCursor<'i> = Option<(ModuleId, FuncId, &'i MachineFunction)>;
 
 /// Effective-address helper exposed for Safeguard's disassembly step.
 pub fn effective_addr(mem: &MemOp, frame: &Frame) -> u64 {

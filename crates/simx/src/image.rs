@@ -11,6 +11,7 @@
 use crate::debug::DebugData;
 use crate::isa::{MInst, INST_BYTES};
 use std::collections::HashMap;
+use std::sync::Arc;
 use tinyir::{DebugLoc, FuncId};
 
 /// A compiled function: instructions plus frame metadata.
@@ -85,10 +86,15 @@ impl MachineModule {
 pub struct ModuleId(pub u32);
 
 /// A module mapped into the simulated address space.
+///
+/// The compiled module is behind an `Arc`: every process built from the
+/// same compiled app shares one copy of the code, debug data and IR, so
+/// loading a module is O(globals), not O(module size). This is what makes
+/// per-injection process construction and snapshot-forking cheap.
 #[derive(Clone, Debug)]
 pub struct LoadedModule {
-    /// The compiled module.
-    pub module: MachineModule,
+    /// The compiled module (shared, immutable).
+    pub module: Arc<MachineModule>,
     /// Load base address.
     pub base: u64,
     /// Address of each TinyIR global (index = `GlobalId`).
@@ -254,13 +260,13 @@ mod tests {
         let lib = dummy_module("libblas", &[("ddot", 5, false)]);
         let mut img = ProcessImage::default();
         let e = img.push_module(LoadedModule {
-            module: exe,
+            module: Arc::new(exe),
             base: EXE_BASE,
             global_addrs: vec![],
             is_shared: false,
         });
         let l = img.push_module(LoadedModule {
-            module: lib,
+            module: Arc::new(lib),
             base: LIB_BASE,
             global_addrs: vec![],
             is_shared: true,
@@ -281,7 +287,7 @@ mod tests {
         let exe = dummy_module("exe", &[("main", 4, false)]);
         let mut img = ProcessImage::default();
         let e = img.push_module(LoadedModule {
-            module: exe,
+            module: Arc::new(exe),
             base: EXE_BASE,
             global_addrs: vec![],
             is_shared: false,

@@ -227,10 +227,9 @@ fn line_table_keys_memory_accesses() {
             .instrs
             .iter()
             .enumerate()
-            .filter(|(_, i)| {
+            .rfind(|(_, i)| {
                 matches!(i, MInst::Mov { src: Src::Mem(mo, _), .. } if mo.base != Some(FP))
             })
-            .last()
             .unwrap();
         let off = f.offset_of(idx);
         assert_eq!(mm.debug.loc_for_offset(off), Some(load_loc));
@@ -288,7 +287,7 @@ fn shared_library_call_via_plt() {
 
     let mm_app = compile_module(&app, true, &[]);
     let mm_lib = compile_module(&lib, true, &[]);
-    let mut p = Process::new(mm_app, vec![mm_lib]);
+    let mut p = Process::new(mm_app, vec![mm_lib.into()]);
     p.start("main", &[21.0f64.to_bits()]);
     match p.run() {
         RunExit::Done(Some(bits)) => assert_eq!(f64::from_bits(bits), 42.0),
@@ -313,7 +312,7 @@ fn profile_counts_dynamic_executions() {
     assert!(matches!(p.run(), RunExit::Done(None)));
     let prof = p.profile.as_ref().unwrap();
     // Some instruction in the loop body executed exactly 7 times.
-    assert!(prof[0][0].iter().any(|&c| c == 7));
+    assert!(prof[0][0].contains(&7));
     assert!(p.steps > 0);
 }
 

@@ -7,9 +7,18 @@
 //! `si_addr`). Misaligned accesses produce the equivalent of `SIGBUS`.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// Page size of the simulated address space (4 KiB, like Linux/x86_64).
 pub const PAGE_SIZE: u64 = 4096;
+
+type Page = [u8; PAGE_SIZE as usize];
+
+/// The one all-zero page every fresh mapping aliases until first write.
+fn zero_page() -> &'static Arc<Page> {
+    static ZERO: OnceLock<Arc<Page>> = OnceLock::new();
+    ZERO.get_or_init(|| Arc::new([0u8; PAGE_SIZE as usize]))
+}
 
 /// A memory access fault.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -48,9 +57,15 @@ pub trait Memory {
 }
 
 /// Sparse paged memory backed by a page-table hash map.
+///
+/// Pages are reference-counted and copy-on-write: `clone()` shares every
+/// page with the original (O(mapped pages) pointer copies, no byte copies),
+/// and the first store to a shared page unshares just that page. Fresh
+/// mappings alias a single static zero page, so mapping a large region
+/// (e.g. the 32 MiB stack) allocates nothing until it is written.
 #[derive(Clone, Default)]
 pub struct PagedMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: HashMap<u64, Arc<Page>>,
     /// Total number of loads+stores served (profiling aid).
     pub access_count: u64,
 }
@@ -64,6 +79,12 @@ impl PagedMemory {
     /// Number of currently mapped pages.
     pub fn mapped_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Number of mapped pages exclusively owned by this memory (i.e. already
+    /// unshared from any snapshot and from the zero page).
+    pub fn private_pages(&self) -> usize {
+        self.pages.values().filter(|p| Arc::strong_count(p) == 1).count()
     }
 
     /// Resident size in bytes.
@@ -93,7 +114,7 @@ impl PagedMemory {
             let a = addr + i as u64;
             let (p, off) = Self::page_of(a);
             let page = self.pages.get_mut(&p).ok_or(MemFault::Unmapped(a))?;
-            page[off] = *b;
+            Arc::make_mut(page)[off] = *b;
         }
         Ok(())
     }
@@ -102,7 +123,7 @@ impl PagedMemory {
 impl Memory for PagedMemory {
     fn load(&mut self, addr: u64, size: u32) -> Result<u64, MemFault> {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
-        if addr % size as u64 != 0 {
+        if !addr.is_multiple_of(size as u64) {
             return Err(MemFault::Misaligned(addr));
         }
         self.access_count += 1;
@@ -118,12 +139,14 @@ impl Memory for PagedMemory {
 
     fn store(&mut self, addr: u64, size: u32, bits: u64) -> Result<(), MemFault> {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
-        if addr % size as u64 != 0 {
+        if !addr.is_multiple_of(size as u64) {
             return Err(MemFault::Misaligned(addr));
         }
         self.access_count += 1;
         let (p, off) = Self::page_of(addr);
         let page = self.pages.get_mut(&p).ok_or(MemFault::Unmapped(addr))?;
+        // Unshare the page on first write (no-op once exclusively owned).
+        let page = Arc::make_mut(page);
         for i in 0..size as usize {
             page[off + i] = (bits >> (8 * i)) as u8;
         }
@@ -137,9 +160,7 @@ impl Memory for PagedMemory {
         let first = addr / PAGE_SIZE;
         let last = (addr + len - 1) / PAGE_SIZE;
         for p in first..=last {
-            self.pages
-                .entry(p)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+            self.pages.entry(p).or_insert_with(|| Arc::clone(zero_page()));
         }
     }
 
@@ -197,7 +218,7 @@ mod tests {
         m.map_region(0x3000, PAGE_SIZE);
         m.store(0x3000, 8, u64::MAX).unwrap();
         m.store(0x3000, 2, 0).unwrap();
-        assert_eq!(m.load(0x3000, 8).unwrap(), u64::MAX & !0xffff);
+        assert_eq!(m.load(0x3000, 8).unwrap(), !0xffff);
     }
 
     #[test]
@@ -222,6 +243,38 @@ mod tests {
         m.read_bytes(0x5003, &mut buf).unwrap();
         assert_eq!(buf, [1, 2, 3]);
         assert!(m.read_bytes(0x9000, &mut buf).is_err());
+    }
+
+    #[test]
+    fn clone_shares_pages_until_written() {
+        let mut m = PagedMemory::new();
+        m.map_region(0x1000, 4 * PAGE_SIZE);
+        m.store(0x1000, 8, 0x1111).unwrap();
+        let mut snap = m.clone();
+        // All pages shared between m, snap (and the zero page for untouched
+        // ones): nothing exclusively owned.
+        assert_eq!(m.private_pages(), 0);
+        assert_eq!(snap.private_pages(), 0);
+        // Writes diverge without affecting the other side.
+        snap.store(0x1000, 8, 0x2222).unwrap();
+        snap.store(0x2000, 8, 0x3333).unwrap();
+        assert_eq!(m.load(0x1000, 8).unwrap(), 0x1111);
+        assert_eq!(m.load(0x2000, 8).unwrap(), 0);
+        assert_eq!(snap.load(0x1000, 8).unwrap(), 0x2222);
+        assert_eq!(snap.load(0x2000, 8).unwrap(), 0x3333);
+        assert_eq!(snap.private_pages(), 2);
+    }
+
+    #[test]
+    fn fresh_mappings_alias_the_zero_page() {
+        let mut a = PagedMemory::new();
+        a.map_region(0, 1024 * PAGE_SIZE);
+        assert_eq!(a.mapped_pages(), 1024);
+        // Zero-filled but not materialised: no page is exclusively owned.
+        assert_eq!(a.private_pages(), 0);
+        assert_eq!(a.load(512 * PAGE_SIZE, 8).unwrap(), 0);
+        a.store(512 * PAGE_SIZE, 8, 7).unwrap();
+        assert_eq!(a.private_pages(), 1);
     }
 
     #[test]

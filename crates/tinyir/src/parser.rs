@@ -349,12 +349,12 @@ struct PendingInstr {
 /// Parse a whole module from its textual form.
 pub fn parse_module(text: &str) -> PResult<Module> {
     let mut module = Module::new("");
-    let mut lines = text.lines().enumerate().peekable();
+    let lines = text.lines().enumerate().peekable();
     let mut cur_func: Option<(String, Vec<Ty>, Option<Ty>)> = None;
     let mut pending: Vec<PendingInstr> = Vec::new();
     let mut blocks: Vec<Block> = Vec::new();
 
-    while let Some((idx, raw)) = lines.next() {
+    for (idx, raw) in lines {
         let lineno = idx + 1;
         let stripped = match raw.find(';') {
             Some(p) => &raw[..p],

@@ -37,7 +37,7 @@ impl fmt::Display for BlockId {
 /// extraction algorithm (Figure 5 of the paper), which dispatches on exactly
 /// these cases: `AllocaInst` / `GlobalVariable` / `Argument` / `PHINode` /
 /// `CallInst` / constants / ordinary instructions.
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub enum Value {
     /// Result of the instruction with the given id.
     Instr(InstrId),
@@ -99,7 +99,24 @@ impl Value {
 }
 
 // Hash/Eq: f64 is not Eq; we compare constants by bit pattern so values can
-// be used as keys in CSE-style maps.
+// be used as keys in CSE-style maps. PartialEq must agree with Hash (bitwise
+// on floats, so -0.0 != 0.0 and NaN == NaN here) or hash-map dedup of float
+// constants becomes dependent on hasher randomness.
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Instr(a), Value::Instr(b)) => a == b,
+            (Value::Arg(a), Value::Arg(b)) => a == b,
+            (Value::Global(a), Value::Global(b)) => a == b,
+            (Value::ConstInt(a, ta), Value::ConstInt(b, tb)) => a == b && ta == tb,
+            (Value::ConstFloat(a, ta), Value::ConstFloat(b, tb)) => {
+                a.to_bits() == b.to_bits() && ta == tb
+            }
+            (Value::ConstNull, Value::ConstNull) => true,
+            _ => false,
+        }
+    }
+}
 impl Eq for Value {}
 impl std::hash::Hash for Value {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {

@@ -118,21 +118,18 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
             let instr = f.instr(iid);
             for v in instr.operands() {
                 match v {
-                    Value::Instr(d) => {
-                        if !defined.contains(&d) {
+                    Value::Instr(d)
+                        if !defined.contains(&d) => {
                             return err(format!("{iid} uses undefined value {d}"));
                         }
-                    }
-                    Value::Arg(n) => {
-                        if n as usize >= f.params.len() {
+                    Value::Arg(n)
+                        if n as usize >= f.params.len() => {
                             return err(format!("{iid} uses out-of-range arg %a{n}"));
                         }
-                    }
-                    Value::Global(g) => {
-                        if g.0 as usize >= m.globals.len() {
+                    Value::Global(g)
+                        if g.0 as usize >= m.globals.len() => {
                             return err(format!("{iid} uses out-of-range global @g{}", g.0));
                         }
-                    }
                     _ => {}
                 }
             }
@@ -168,11 +165,10 @@ fn check_types(m: &Module, f: &Function, iid: InstrId) -> Result<(), VerifyError
     let instr = f.instr(iid);
     let ty_of = |v: Value| value_ty(f, v);
     match &instr.kind {
-        InstrKind::Load { ptr, .. } | InstrKind::Store { ptr, .. } => {
-            if ty_of(*ptr) != Some(Ty::Ptr) {
+        InstrKind::Load { ptr, .. } | InstrKind::Store { ptr, .. }
+            if ty_of(*ptr) != Some(Ty::Ptr) => {
                 return err(format!("{iid}: memory address operand is not a pointer"));
             }
-        }
         InstrKind::Gep { base, index, elem_size } => {
             if ty_of(*base) != Some(Ty::Ptr) {
                 return err(format!("{iid}: gep base is not a pointer"));
@@ -214,11 +210,10 @@ fn check_types(m: &Module, f: &Function, iid: InstrId) -> Result<(), VerifyError
                 }
             }
         }
-        InstrKind::CondBr { cond, .. } => {
-            if ty_of(*cond) != Some(Ty::I1) {
+        InstrKind::CondBr { cond, .. }
+            if ty_of(*cond) != Some(Ty::I1) => {
                 return err(format!("{iid}: condbr condition is not i1"));
             }
-        }
         InstrKind::Call { callee, args, ret_ty } => match callee {
             Callee::Func(fid) => {
                 if fid.0 as usize >= m.funcs.len() {

@@ -474,7 +474,7 @@ mod tests {
         let s = setup();
         let lib_mm = simx::compile_module(&s.lib, true, &[]);
         let drv_mm = simx::compile_module(&s.driver.module, true, &[]);
-        let mut p = simx::Process::new(drv_mm, vec![lib_mm]);
+        let mut p = simx::Process::new(drv_mm, vec![lib_mm.into()]);
         p.start("main", &[1]);
         match p.run() {
             simx::RunExit::Done(Some(bits)) => {

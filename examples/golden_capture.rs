@@ -1,0 +1,73 @@
+//! Golden-constant capture utility for `tests/golden.rs`.
+//!
+//! Prints the fixed-seed campaign aggregates (and wall-clock throughput) the
+//! golden-equivalence test asserts against. The checked-in constants were
+//! captured from the pre-fork engine (process rebuild + prefix
+//! re-simulation); re-run this only when an *intentional* semantic change to
+//! the campaign engine requires refreshing them, and say so in the commit.
+//!
+//! ```sh
+//! cargo run --release --example golden_capture
+//! ```
+
+use faultsim::{Campaign, CampaignConfig, FaultModel};
+use opt::OptLevel;
+use std::time::Instant;
+
+fn coverage_cfg(injections: usize, seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        injections,
+        model: FaultModel::SingleBit,
+        seed,
+        evaluate_care: true,
+        app_only: true,
+        ..CampaignConfig::default()
+    }
+}
+
+fn summarize(name: &str, r: &faultsim::CampaignReport) {
+    let mut declines: Vec<(String, usize)> =
+        r.declines.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+    declines.sort();
+    let mean_ms = r.mean_recovery_ms();
+    println!(
+        "GOLDEN {name}: total={} benign={} soft={} sdc={} hang={}",
+        r.total(),
+        r.benign,
+        r.soft_failure,
+        r.sdc,
+        r.hang
+    );
+    println!("GOLDEN {name}: signals={:?} latency={:?}", r.signals, r.latency_buckets);
+    println!(
+        "GOLDEN {name}: care_eval={} covered={} survived_sdc={} recoveries={} mean_ms={:.6}",
+        r.care_evaluated, r.care_covered, r.care_survived_with_sdc, r.total_recoveries, mean_ms
+    );
+    println!("GOLDEN {name}: declines={declines:?}");
+}
+
+fn main() {
+    // --- golden-equivalence baseline: hpccg, seed 0xCA2E, 100 injections --
+    let w = workloads::hpccg::build(3, 2);
+    let app = care::compile(&w.module, OptLevel::O1);
+    let campaign = Campaign::prepare(&w, app, vec![]);
+    let r = campaign.run(&coverage_cfg(100, 0xCA2E));
+    summarize("hpccg_small_o1_care_n100", &r);
+
+    // --- throughput baseline: CARE coverage campaigns, default workloads --
+    for w in [workloads::hpccg::default(), workloads::gtcp::default()] {
+        let name = w.name;
+        let app = care::compile(&w.module, OptLevel::O1);
+        let campaign = Campaign::prepare(&w, app, vec![]);
+        let n = 200;
+        let t0 = Instant::now();
+        let r = campaign.run(&coverage_cfg(n, 7));
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "THROUGHPUT {name}: n={n} classified={} care_eval={} wall={dt:.2}s inj_per_sec={:.2}",
+            r.total(),
+            r.care_evaluated,
+            n as f64 / dt
+        );
+    }
+}

@@ -67,7 +67,10 @@ fn main() {
                 println!(
                     "  declined injection #{i}: {:?} -> {} (contaminated kernel input)",
                     rec.target,
-                    care_res.decline.as_deref().unwrap_or("?")
+                    care_res
+                        .decline
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "?".into())
                 );
             }
         }

@@ -1,0 +1,57 @@
+//! Golden-equivalence regression for the campaign engine.
+//!
+//! The zero-copy snapshot-forking engine (Arc-shared images, paused-process
+//! forking at the injection point, campaign-scoped recovery index) must be
+//! an *observational no-op*: a fixed-seed campaign produces bit-identical
+//! aggregates to the pre-fork engine that rebuilt and re-simulated every
+//! protected run from scratch.
+//!
+//! The expected values below were captured from the old engine (process
+//! rebuild + prefix re-simulation) with `cargo run --release --example
+//! golden_capture` before the rework landed. If this test fails, the engine
+//! changed observable campaign behaviour — that is a bug, not a baseline to
+//! refresh. Refresh the constants only for an *intentional* semantic change
+//! (new fault model, different sampling), and say so in the commit.
+
+use faultsim::{Campaign, CampaignConfig, FaultModel};
+use opt::OptLevel;
+use safeguard::DeclineKind;
+
+#[test]
+fn snapshot_fork_engine_matches_golden_aggregates() {
+    let w = workloads::hpccg::build(3, 2);
+    let app = care::compile(&w.module, OptLevel::O1);
+    let campaign = Campaign::prepare(&w, app, vec![]);
+    let r = campaign.run(&CampaignConfig {
+        injections: 100,
+        model: FaultModel::SingleBit,
+        seed: 0xCA2E,
+        evaluate_care: true,
+        app_only: true,
+        ..CampaignConfig::default()
+    });
+
+    // Outcome classification (Table 2 aggregates).
+    assert_eq!(r.total(), 100);
+    assert_eq!(
+        (r.benign, r.soft_failure, r.sdc, r.hang),
+        (55, 10, 33, 2),
+        "outcome buckets diverged from the golden engine"
+    );
+    // Symptom and latency breakdowns (Tables 3-4).
+    assert_eq!(r.signals, [10, 0, 0, 0]);
+    assert_eq!(r.latency_buckets, [8, 0, 0, 2]);
+    // CARE evaluation (Figures 7 and 9): the forked protected runs must
+    // see exactly the state the rebuilt-and-resimulated runs saw.
+    assert_eq!(r.care_evaluated, 10);
+    assert_eq!(r.care_covered, 6);
+    assert_eq!(r.care_survived_with_sdc, 1);
+    assert_eq!(r.total_recoveries, 7);
+    assert!(
+        (r.mean_recovery_ms() - 15.870184).abs() < 1e-6,
+        "mean recovery time diverged: {}",
+        r.mean_recovery_ms()
+    );
+    assert_eq!(r.declines.len(), 1);
+    assert_eq!(r.declines.get(&DeclineKind::SameAddress), Some(&3));
+}

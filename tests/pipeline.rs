@@ -177,6 +177,7 @@ fn campaign_accounting_is_consistent() {
     let r = campaign.run(&CampaignConfig {
         injections: n_injections(100),
         seed: 3,
+        keep_records: true,
         ..Default::default()
     });
     assert_eq!(

@@ -83,7 +83,7 @@ fn build_program(spec: &ProgramSpec) -> Module {
         let facc = fb.alloca(Ty::F64, 1);
         fb.store(fb.arg(0), acc);
         fb.store(Value::f64(1.5), facc);
-        fb.for_loop(Value::i64(0), Value::i64(10), |fb, iv| {
+        fb.for_loop(Value::i64(0), Value::i64(spec.loop_trip as i64), |fb, iv| {
             for op in &ops {
                 apply_op(fb, op, acc, facc, iv, arr, len);
             }
