@@ -21,7 +21,18 @@ fn worker_count(n: usize) -> usize {
         .min(n)
 }
 
+/// How many chunks each worker should see on average: enough slack for
+/// dynamic load balancing (item costs vary wildly in fault campaigns)
+/// without paying per-item synchronisation.
+const CHUNKS_PER_THREAD: usize = 8;
+
 /// Apply `f` to every item on a worker pool, preserving item order.
+///
+/// Work is taken in contiguous chunks (grain derived from item count /
+/// thread count) claimed off a single atomic cursor: two lock round-trips
+/// per *chunk* instead of the former two per *item*. Outputs land in
+/// per-chunk slots and are concatenated in chunk order, so the result is
+/// order-preserving and deterministic regardless of thread schedule.
 fn par_apply<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -33,26 +44,29 @@ where
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let grain = n.div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    let mut items = items;
+    let mut chunks: Vec<Mutex<Vec<T>>> = Vec::with_capacity(n.div_ceil(grain));
+    while !items.is_empty() {
+        let rest = items.split_off(grain.min(items.len()));
+        chunks.push(Mutex::new(std::mem::replace(&mut items, rest)));
+    }
+    let out: Vec<Mutex<Vec<R>>> = (0..chunks.len()).map(|_| Mutex::new(Vec::new())).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks.len() {
                     break;
                 }
-                let item = work[i].lock().unwrap().take().unwrap();
-                let out = f(item);
-                *slots[i].lock().unwrap() = Some(out);
+                let chunk = std::mem::take(&mut *chunks[c].lock().unwrap());
+                let results: Vec<R> = chunk.into_iter().map(&f).collect();
+                *out[c].lock().unwrap() = results;
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().unwrap().unwrap())
-        .collect()
+    out.into_iter().flat_map(|s| s.into_inner().unwrap()).collect()
 }
 
 /// Mirror of `rayon::iter::IntoParallelIterator`.
@@ -192,6 +206,32 @@ mod tests {
     fn map_preserves_order() {
         let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_dispatch_preserves_order_at_awkward_sizes() {
+        // Sizes around chunk boundaries: empty, single, fewer than the
+        // thread count, prime, and a grain-multiple neighbourhood.
+        for n in [0usize, 1, 3, 97, 255, 256, 257, 1009] {
+            let out: Vec<usize> = (0..n).into_par_iter().map(|i| i.wrapping_mul(31)).collect();
+            assert_eq!(out, (0..n).map(|i| i.wrapping_mul(31)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn uneven_item_costs_stay_deterministic() {
+        // Per-item runtime varies by orders of magnitude; scheduling must
+        // not leak into output order or content.
+        let work = |i: usize| -> usize {
+            let mut acc = i;
+            for _ in 0..(i % 17) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let a: Vec<usize> = (0..500usize).into_par_iter().map(work).collect();
+        let b: Vec<usize> = (0..500usize).map(work).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

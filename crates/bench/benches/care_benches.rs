@@ -154,6 +154,25 @@ fn bench_campaign_throughput(c: &mut Criterion) {
         };
         g.bench_function(w.name, |b| b.iter(|| campaign.run(&cfg)));
     }
+    // Raw interpreter throughput: one full hook-free (fast-loop) run from a
+    // snapshot-forked started process — the per-injection inner cost every
+    // campaign number above decomposes into. Cloning the template is the
+    // same CoW fork the engine does, so setup per iteration is O(pages).
+    for w in [workloads::hpccg::default(), workloads::gtcp::default()] {
+        let app = care::compile(&w.module, OptLevel::O1);
+        let mut template = simx::Process::new(app.machine.clone(), vec![]);
+        template.start(w.entry, &w.args);
+        g.bench_function(format!("raw_interp/{}", w.name), |b| {
+            b.iter_batched(
+                || template.clone(),
+                |mut p| match p.run() {
+                    RunExit::Done(_) => p.steps,
+                    other => panic!("fault-free run failed: {other:?}"),
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
     g.finish();
 }
 

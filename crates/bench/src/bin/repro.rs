@@ -69,10 +69,10 @@ fn parse_args() -> Args {
     Args { injections, seed, experiments }
 }
 
-/// `repro bench-json`: time end-to-end CARE coverage campaigns on the
-/// throughput reference workloads and write the measurements to
-/// `BENCH_campaign.json` in the current directory (hand-rolled JSON; the
-/// container has no serde).
+/// `repro bench-json`: time end-to-end CARE coverage campaigns on the full
+/// five-workload app suite (HPCCG, CoMD, miniFE, miniMD, GTC-P) and write
+/// the measurements to `BENCH_campaign.json` in the current directory
+/// (hand-rolled JSON; the container has no serde).
 fn bench_json(injections: usize, seed: u64) {
     use std::fmt::Write as _;
     use std::time::Instant;
@@ -80,7 +80,7 @@ fn bench_json(injections: usize, seed: u64) {
         "[repro] timing CARE coverage campaigns ({injections} injections/workload)..."
     );
     let mut entries = Vec::new();
-    for w in [workloads::hpccg::default(), workloads::gtcp::default()] {
+    for w in section2_workloads() {
         let p = prepare(&w, OptLevel::O1);
         let t0 = Instant::now();
         let r = coverage_campaign(&p, injections, FaultModel::SingleBit, seed);

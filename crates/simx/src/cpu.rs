@@ -290,49 +290,92 @@ impl Process {
         }
     }
 
-    fn eval_src(&mut self, frame: usize, src: Src) -> Result<u64, MemFault> {
+    /// Evaluate a source operand against one frame. A free-standing helper
+    /// (rather than `&mut self`) so the step loop can keep its `&mut Frame`
+    /// borrow while lending out `&mut self.mem` — disjoint field borrows.
+    #[inline(always)]
+    fn eval_src(
+        frame: &Frame,
+        mem: &mut PagedMemory,
+        image: &ProcessImage,
+        src: Src,
+    ) -> Result<u64, MemFault> {
         match src {
-            Src::Reg(r) => Ok(self.frames[frame].regs[r.0 as usize]),
+            Src::Reg(r) => Ok(frame.regs[r.0 as usize]),
             Src::Imm(v) => Ok(v),
             Src::Mem(m, size) => {
-                let addr = m.effective(|r| self.frames[frame].regs[r.0 as usize]);
-                self.mem.load(addr, size as u32)
+                let addr = m.effective(|r| frame.regs[r.0 as usize]);
+                mem.load(addr, size as u32)
             }
             Src::Global(g) => {
-                let mid = self.frames[frame].module;
-                Ok(self.image.modules[mid.0 as usize].global_addrs[g.0 as usize])
+                Ok(image.modules[frame.module.0 as usize].global_addrs[g.0 as usize])
             }
         }
     }
 
     /// Run until completion, trap, or breakpoint.
     ///
-    /// The hot loop holds its own handle on the (immutable) image so each
-    /// step can borrow the current instruction in place instead of cloning
-    /// it, and caches the executing function across steps so straight-line
-    /// code pays no module/function lookups.
+    /// Dispatches to one of two monomorphized loops. The **fast loop**
+    /// (`HOOKS = false`) is the post-injection common case — `profile` and
+    /// `break_at` both `None` for the bulk of every campaign run — and
+    /// compiles with the per-step profile branch and breakpoint match
+    /// removed entirely. The **slow loop** (`HOOKS = true`) keeps today's
+    /// exact semantics whenever either feature is armed. Both produce
+    /// bit-identical `steps`/`fuel` accounting and trap states (the
+    /// fast-path precision tests in `tests.rs` hold them side by side).
     pub fn run(&mut self) -> RunExit {
-        let image = Arc::clone(&self.image);
-        let mut cursor: FrameCursor<'_> = None;
-        loop {
-            match self.step_in(&image, &mut cursor) {
-                StepOut::Continue => {}
-                StepOut::Done(v) => return RunExit::Done(v),
-                StepOut::Trap(t) => {
-                    self.trap_count += 1;
-                    return RunExit::Trapped(t);
-                }
-                StepOut::Break => return RunExit::BreakHit,
-            }
+        if self.profile.is_some() || self.break_at.is_some() {
+            self.run_loop::<true>()
+        } else {
+            self.run_loop::<false>()
         }
     }
 
-    fn step_in<'i>(
+    /// The hot loop holds its own handle on the (immutable) image so each
+    /// step can borrow the current instruction in place instead of cloning
+    /// it, and caches the executing function across steps so straight-line
+    /// code pays no module/function lookups. `fuel` and `steps` are carried
+    /// in locals across the whole block of steps (no per-step memory
+    /// round-trip through `self`) and written back on every exit, so the
+    /// externally visible accounting is exact — a trap freezes with the
+    /// counters exactly as the per-step version would leave them, which the
+    /// hang-latency buckets of Table 4 rely on.
+    fn run_loop<const HOOKS: bool>(&mut self) -> RunExit {
+        let image = Arc::clone(&self.image);
+        let mut cursor: FrameCursor<'_> = None;
+        let mut fuel = self.fuel;
+        let mut steps = self.steps;
+        let exit = loop {
+            match self.step_in::<HOOKS>(&image, &mut cursor, &mut fuel, &mut steps) {
+                StepOut::Continue => {}
+                StepOut::Done(v) => break RunExit::Done(v),
+                StepOut::Trap(t) => {
+                    self.trap_count += 1;
+                    break RunExit::Trapped(t);
+                }
+                StepOut::Break => break RunExit::BreakHit,
+            }
+        };
+        self.fuel = fuel;
+        self.steps = steps;
+        exit
+    }
+
+    #[inline(always)]
+    fn step_in<'i, const HOOKS: bool>(
         &mut self,
         image: &'i ProcessImage,
         cursor: &mut FrameCursor<'i>,
+        fuel: &mut u64,
+        steps: &mut u64,
     ) -> StepOut {
-        let Some(frame) = self.frames.last() else {
+        // One mutable borrow of the top frame for the whole step: register
+        // reads/writes go through it directly instead of re-indexing
+        // `self.frames` (and re-proving the bounds) per operand. Arms that
+        // need `&mut self` as a whole (call/intrinsic/ret) end the borrow
+        // and return early.
+        let fi = self.frames.len().wrapping_sub(1);
+        let Some(frame) = self.frames.last_mut() else {
             return StepOut::Done(None);
         };
         let (mid, fid, idx) = (frame.module, frame.func, frame.idx);
@@ -354,30 +397,34 @@ impl Process {
             let pc = pc();
             return StepOut::Trap(Trap { kind: TrapKind::Segv(pc), pc });
         }
-        if self.fuel == 0 {
+        if *fuel == 0 {
             let pc = pc();
             return StepOut::Trap(Trap { kind: TrapKind::OutOfFuel, pc });
         }
-        self.fuel -= 1;
-        self.steps += 1;
-        if let Some(p) = &mut self.profile {
-            p[mid.0 as usize][fid.0 as usize][idx] += 1;
-        }
-        let break_hit = match &mut self.break_at {
-            Some((bm, bf, bi, n)) if *bm == mid && *bf == fid && *bi == idx => {
-                if *n <= 1 {
-                    self.break_at = None;
-                    true
-                } else {
-                    *n -= 1;
-                    false
-                }
+        *fuel -= 1;
+        *steps += 1;
+        // `HOOKS` is a monomorphization constant: in the fast loop the
+        // profile branch and the breakpoint match below compile away.
+        if HOOKS {
+            if let Some(p) = &mut self.profile {
+                p[mid.0 as usize][fid.0 as usize][idx] += 1;
             }
-            _ => false,
-        };
+        }
+        let break_hit = HOOKS
+            && match &mut self.break_at {
+                Some((bm, bf, bi, n)) if *bm == mid && *bf == fid && *bi == idx => {
+                    if *n <= 1 {
+                        self.break_at = None;
+                        true
+                    } else {
+                        *n -= 1;
+                        false
+                    }
+                }
+                _ => false,
+            };
 
         let inst = &mf.instrs[idx];
-        let fi = self.frames.len() - 1;
         let trap = |k: TrapKind| StepOut::Trap(Trap { kind: k, pc: pc() });
         let memtrap = |e: MemFault| {
             StepOut::Trap(Trap {
@@ -388,11 +435,11 @@ impl Process {
                 pc: pc(),
             })
         };
+        let step_out = |hit: bool| if hit { StepOut::Break } else { StepOut::Continue };
 
-        let mut advanced = false;
         match inst {
             MInst::Mov { dst, src, size, sext } => {
-                let mut v = match self.eval_src(fi, *src) {
+                let mut v = match Self::eval_src(frame, &mut self.mem, image, *src) {
                     Ok(v) => v,
                     Err(e) => return memtrap(e),
                 };
@@ -404,128 +451,127 @@ impl Process {
                     };
                     v = sext_bits(v, ty) as u64;
                 }
-                self.frames[fi].regs[dst.0 as usize] = v;
+                frame.regs[dst.0 as usize] = v;
             }
-            MInst::Store { src, mem, size } => {
-                let v = self.frames[fi].regs[src.0 as usize];
-                let addr = mem.effective(|r| self.frames[fi].regs[r.0 as usize]);
+            MInst::Store { src, mem: memop, size } => {
+                let v = frame.regs[src.0 as usize];
+                let addr = memop.effective(|r| frame.regs[r.0 as usize]);
                 if let Err(e) = self.mem.store(addr, *size as u32, v) {
                     return memtrap(e);
                 }
             }
-            MInst::Lea { dst, mem } => {
-                let addr = mem.effective(|r| self.frames[fi].regs[r.0 as usize]);
-                self.frames[fi].regs[dst.0 as usize] = addr;
+            MInst::Lea { dst, mem: memop } => {
+                let addr = memop.effective(|r| frame.regs[r.0 as usize]);
+                frame.regs[dst.0 as usize] = addr;
             }
             MInst::Bin { op, dst, lhs, rhs, ty } => {
-                let l = self.frames[fi].regs[lhs.0 as usize];
-                let r = match self.eval_src(fi, *rhs) {
+                let l = frame.regs[lhs.0 as usize];
+                let r = match Self::eval_src(frame, &mut self.mem, image, *rhs) {
                     Ok(v) => v,
                     Err(e) => return memtrap(e),
                 };
                 match eval_bin(*op, l, r, *ty) {
-                    Ok(v) => self.frames[fi].regs[dst.0 as usize] = v,
+                    Ok(v) => frame.regs[dst.0 as usize] = v,
                     Err(_) => return trap(TrapKind::Fpe),
                 }
             }
             MInst::Icmp { pred, dst, lhs, rhs, ty } => {
-                let l = self.frames[fi].regs[lhs.0 as usize];
-                let r = match self.eval_src(fi, *rhs) {
+                let l = frame.regs[lhs.0 as usize];
+                let r = match Self::eval_src(frame, &mut self.mem, image, *rhs) {
                     Ok(v) => v,
                     Err(e) => return memtrap(e),
                 };
-                self.frames[fi].regs[dst.0 as usize] = eval_icmp(*pred, l, r, *ty) as u64;
+                frame.regs[dst.0 as usize] = eval_icmp(*pred, l, r, *ty) as u64;
             }
             MInst::Fcmp { pred, dst, lhs, rhs, ty } => {
-                let l = self.frames[fi].regs[lhs.0 as usize];
-                let r = match self.eval_src(fi, *rhs) {
+                let l = frame.regs[lhs.0 as usize];
+                let r = match Self::eval_src(frame, &mut self.mem, image, *rhs) {
                     Ok(v) => v,
                     Err(e) => return memtrap(e),
                 };
-                self.frames[fi].regs[dst.0 as usize] =
+                frame.regs[dst.0 as usize] =
                     eval_fcmp(*pred, float_of_bits(l, *ty), float_of_bits(r, *ty)) as u64;
             }
             MInst::Cast { op, dst, src, from, to } => {
-                let v = self.frames[fi].regs[src.0 as usize];
-                self.frames[fi].regs[dst.0 as usize] = eval_cast(*op, v, *from, *to);
+                let v = frame.regs[src.0 as usize];
+                frame.regs[dst.0 as usize] = eval_cast(*op, v, *from, *to);
             }
             MInst::Select { dst, cond, t, f } => {
-                let c = self.frames[fi].regs[cond.0 as usize] & 1;
+                let c = frame.regs[cond.0 as usize] & 1;
                 let v = if c != 0 {
-                    self.frames[fi].regs[t.0 as usize]
+                    frame.regs[t.0 as usize]
                 } else {
-                    self.frames[fi].regs[f.0 as usize]
+                    frame.regs[f.0 as usize]
                 };
-                self.frames[fi].regs[dst.0 as usize] = v;
+                frame.regs[dst.0 as usize] = v;
             }
             MInst::Jmp { target } => {
-                self.frames[fi].idx = *target as usize;
-                advanced = true;
+                frame.idx = *target as usize;
+                return step_out(break_hit);
             }
             MInst::Jnz { cond, then_t, else_t } => {
-                let c = self.frames[fi].regs[cond.0 as usize] & 1;
-                self.frames[fi].idx = *(if c != 0 { then_t } else { else_t }) as usize;
-                advanced = true;
+                let c = frame.regs[cond.0 as usize] & 1;
+                frame.idx = *(if c != 0 { then_t } else { else_t }) as usize;
+                return step_out(break_hit);
             }
             MInst::GetArg { dst, idx: a } => {
-                let v = self.frames[fi].args.get(*a as usize).copied().unwrap_or(0);
-                self.frames[fi].regs[dst.0 as usize] = v;
+                let v = frame.args.get(*a as usize).copied().unwrap_or(0);
+                frame.regs[dst.0 as usize] = v;
             }
             MInst::Call { callee, args, dst } => {
                 let mut argv = Vec::with_capacity(args.len());
                 for s in args {
-                    match self.eval_src(fi, *s) {
+                    match Self::eval_src(frame, &mut self.mem, image, *s) {
                         Ok(v) => argv.push(v),
                         Err(e) => return memtrap(e),
                     }
                 }
-                // Advance the caller past the call before pushing the frame.
-                self.frames[fi].idx += 1;
-                advanced = true;
+                // Advance the caller past the call before pushing the frame
+                // (ends the frame borrow — push_frame needs all of self).
+                frame.idx += 1;
                 if let Err(t) = self.push_frame(mid, *callee, argv, *dst) {
                     return StepOut::Trap(t);
                 }
+                return step_out(break_hit);
             }
             MInst::CallIntr { which, args, dst } => {
                 let mut argv = Vec::with_capacity(args.len());
                 for s in args {
-                    match self.eval_src(fi, *s) {
+                    match Self::eval_src(frame, &mut self.mem, image, *s) {
                         Ok(v) => argv.push(v),
                         Err(e) => return memtrap(e),
                     }
                 }
                 match self.eval_intrinsic(*which, &argv) {
                     Ok(r) => {
+                        // `eval_intrinsic` needed `&mut self`; re-borrow.
+                        let frame = &mut self.frames[fi];
                         if let (Some(d), Some(v)) = (*dst, r) {
-                            self.frames[fi].regs[d.0 as usize] = v;
+                            frame.regs[d.0 as usize] = v;
                         }
+                        frame.idx += 1;
+                        return step_out(break_hit);
                     }
                     Err(k) => return trap(k),
                 }
             }
             MInst::Ret { src } => {
-                let val = src.map(|r| self.frames[fi].regs[r.0 as usize]);
+                let val = src.map(|r| frame.regs[r.0 as usize]);
                 let done = self.frames.len() == 1;
-                let frame = self.frames.pop().expect("frame");
-                self.sp = frame.saved_sp;
+                let popped = self.frames.pop().expect("frame");
+                self.sp = popped.saved_sp;
                 if done {
                     return if break_hit { StepOut::Break } else { StepOut::Done(val) };
                 }
-                if let (Some(d), Some(v)) = (frame.ret_dst, val) {
+                if let (Some(d), Some(v)) = (popped.ret_dst, val) {
                     let pl = self.frames.len() - 1;
                     self.frames[pl].regs[d.0 as usize] = v;
                 }
-                advanced = true;
+                return step_out(break_hit);
             }
         }
-        if !advanced {
-            self.frames[fi].idx += 1;
-        }
-        if break_hit {
-            StepOut::Break
-        } else {
-            StepOut::Continue
-        }
+        frame.idx += 1;
+        step_out(break_hit)
     }
 
     fn eval_intrinsic(

@@ -517,3 +517,165 @@ fn sub_word_types_round_trip_through_memory() {
         Some((56i64 - 200 - 200) as u64)
     );
 }
+
+// ---------------------------------------------------------------------------
+// Fast-loop trap precision: `run()` dispatches to a monomorphized fast loop
+// when neither `profile` nor `break_at` is armed. These tests hold the fast
+// and slow loops side by side on the same trapping program and require the
+// frozen machine states to be bit-identical — PC on the faulting
+// instruction, pre-fault registers, and exact `steps`/`fuel` accounting
+// (Table 4's latency buckets and hang detection depend on the counters).
+// ---------------------------------------------------------------------------
+
+/// A module whose `main(n, k)` loops `n` times accumulating into a global,
+/// then triggers the requested fault. `k` parametrises the faulting access.
+fn trapping_module(fault: &str) -> Module {
+    let mut mb = ModuleBuilder::new("trapper", "trapper.c");
+    let acc = mb.global_zeroed("acc", Ty::I64, 8);
+    mb.define("main", vec![Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+        fb.for_loop(Value::i64(0), fb.arg(0), |fb, iv| {
+            let a = fb.load_elem(fb.global(acc), Value::i64(0), Ty::I64);
+            let s = fb.add(a, iv, Ty::I64);
+            fb.store_elem(s, fb.global(acc), Value::i64(0), Ty::I64);
+        });
+        let v = match fault {
+            // Index far past the mapped global: unmapped page (SIGSEGV).
+            "segv" => fb.load_elem(fb.global(acc), fb.arg(1), Ty::I64),
+            // Byte-offset the base pointer: misaligned i64 load (SIGBUS).
+            "bus" => {
+                let p = fb.gep(fb.global(acc), fb.arg(1), 1);
+                fb.load(p, Ty::I64)
+            }
+            // Divide by the zero in arg(1) (SIGFPE).
+            "fpe" => fb.sdiv(fb.arg(0), fb.arg(1), Ty::I64),
+            // No fault: run to completion (used by the fuel test).
+            _ => fb.load_elem(fb.global(acc), Value::i64(0), Ty::I64),
+        };
+        fb.ret(Some(v));
+    });
+    mb.finish()
+}
+
+/// Run `main(args)` twice — fast loop (no hooks) and slow loop (profiling
+/// armed) — with the given fuel, and require bit-identical frozen states.
+fn assert_fast_slow_equal(m: &Module, args: &[u64], fuel: u64) -> RunExit {
+    let mm = std::sync::Arc::new(compile_module(m, true, &[]));
+    let mut fast = Process::new(std::sync::Arc::clone(&mm), vec![]);
+    fast.start("main", args);
+    fast.fuel = fuel;
+    let fast_exit = fast.run();
+
+    let mut slow = Process::new(mm, vec![]);
+    slow.start("main", args);
+    slow.fuel = fuel;
+    slow.enable_profile(); // forces the hook-checking loop
+    let slow_exit = slow.run();
+
+    assert_eq!(fast_exit, slow_exit, "exit status diverged");
+    assert_eq!(fast.steps, slow.steps, "dynamic instruction count diverged");
+    assert_eq!(fast.fuel, slow.fuel, "remaining fuel diverged");
+    assert_eq!(fast.pc(), slow.pc(), "frozen PC diverged");
+    assert_eq!(fast.sp, slow.sp, "stack pointer diverged");
+    assert_eq!(fast.trap_count, slow.trap_count, "trap count diverged");
+    assert_eq!(fast.frames.len(), slow.frames.len(), "frame depth diverged");
+    for (ff, sf) in fast.frames.iter().zip(&slow.frames) {
+        assert_eq!(ff.regs, sf.regs, "register file diverged");
+        assert_eq!((ff.module, ff.func, ff.idx), (sf.module, sf.func, sf.idx));
+    }
+    if let RunExit::Trapped(t) = fast_exit {
+        // The PC must be frozen *on* the faulting instruction.
+        assert_eq!(t.pc, fast.pc(), "trap PC is not the frozen PC");
+    }
+    fast_exit
+}
+
+#[test]
+fn fast_loop_segv_state_matches_slow_loop() {
+    let m = trapping_module("segv");
+    let exit = assert_fast_slow_equal(&m, &[25, 1 << 30], u64::MAX);
+    match exit {
+        RunExit::Trapped(t) => assert!(matches!(t.kind, TrapKind::Segv(_))),
+        other => panic!("expected SIGSEGV, got {other:?}"),
+    }
+}
+
+#[test]
+fn fast_loop_bus_state_matches_slow_loop() {
+    let m = trapping_module("bus");
+    let exit = assert_fast_slow_equal(&m, &[25, 3], u64::MAX);
+    match exit {
+        RunExit::Trapped(t) => assert!(matches!(t.kind, TrapKind::Bus(_))),
+        other => panic!("expected SIGBUS, got {other:?}"),
+    }
+}
+
+#[test]
+fn fast_loop_fpe_state_matches_slow_loop() {
+    let m = trapping_module("fpe");
+    let exit = assert_fast_slow_equal(&m, &[25, 0], u64::MAX);
+    match exit {
+        RunExit::Trapped(t) => assert_eq!(t.kind, TrapKind::Fpe),
+        other => panic!("expected SIGFPE, got {other:?}"),
+    }
+}
+
+#[test]
+fn fast_loop_out_of_fuel_matches_slow_loop_at_every_budget() {
+    // Sweep fuel budgets across the whole run so the OutOfFuel trap lands
+    // on many different instructions (loop body, backedge, ret path); the
+    // fast loop's block accounting must stop at exactly the same step.
+    let m = trapping_module("none");
+    let full = match assert_fast_slow_equal(&m, &[10, 0], u64::MAX) {
+        RunExit::Done(_) => {
+            let mm = std::sync::Arc::new(compile_module(&m, true, &[]));
+            let mut p = Process::new(mm, vec![]);
+            p.start("main", &[10, 0]);
+            p.run();
+            p.steps
+        }
+        other => panic!("expected completion, got {other:?}"),
+    };
+    for fuel in (0..full).step_by(7).chain([full - 1]) {
+        let exit = assert_fast_slow_equal(&m, &[10, 0], fuel);
+        match exit {
+            RunExit::Trapped(t) => assert_eq!(t.kind, TrapKind::OutOfFuel),
+            other => panic!("fuel {fuel}: expected OutOfFuel, got {other:?}"),
+        }
+    }
+    // At exactly `full` fuel the run completes with zero fuel left.
+    match assert_fast_slow_equal(&m, &[10, 0], full) {
+        RunExit::Done(_) => {}
+        other => panic!("expected completion at exact fuel, got {other:?}"),
+    }
+}
+
+#[test]
+fn fast_loop_resumes_after_breakpoint_with_identical_accounting() {
+    // A run that hits a breakpoint (slow loop), then resumes — the resumed
+    // portion takes the fast loop since `break_at` was consumed. Its final
+    // state must match an uninterrupted profiled (slow) run.
+    let m = trapping_module("none");
+    let mm = std::sync::Arc::new(compile_module(&m, true, &[]));
+    let fid = mm.func_by_name("main").unwrap();
+
+    let mut straight = Process::new(std::sync::Arc::clone(&mm), vec![]);
+    straight.start("main", &[10, 0]);
+    straight.enable_profile();
+    let straight_exit = straight.run();
+
+    // Break on an instruction the profile says runs at least five times
+    // (i.e. one inside the loop body).
+    let counts = &straight.profile.as_ref().unwrap()[0][fid.0 as usize];
+    let bidx = counts.iter().position(|&c| c >= 5).expect("loop instruction");
+
+    let mut broken = Process::new(mm, vec![]);
+    broken.start("main", &[10, 0]);
+    broken.break_at = Some((ModuleId(0), fid, bidx, 4));
+    assert_eq!(broken.run(), RunExit::BreakHit);
+    assert!(broken.break_at.is_none());
+    let resumed_exit = broken.run(); // fast loop from here on
+
+    assert_eq!(resumed_exit, straight_exit);
+    assert_eq!(broken.steps, straight.steps);
+    assert_eq!(broken.pc(), straight.pc());
+}

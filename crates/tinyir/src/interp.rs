@@ -421,6 +421,7 @@ fn fault_of(e: MemFault, loc: Option<DebugLoc>) -> Fault {
 
 /// Evaluate a binary operator on raw bits. Public so that constant folding
 /// (in `opt`) and SimISA (in `simx`) share one definition of arithmetic.
+#[inline]
 pub fn eval_bin(op: BinOp, l: u64, r: u64, ty: Ty) -> Result<u64, FaultKind> {
     if op.is_float() {
         let a = float_of_bits(l, ty);
@@ -479,6 +480,7 @@ pub fn eval_bin(op: BinOp, l: u64, r: u64, ty: Ty) -> Result<u64, FaultKind> {
 }
 
 /// Evaluate an integer comparison on raw bits.
+#[inline]
 pub fn eval_icmp(pred: ICmp, l: u64, r: u64, ty: Ty) -> bool {
     let ls = sext_bits(l, ty);
     let rs = sext_bits(r, ty);
@@ -499,6 +501,7 @@ pub fn eval_icmp(pred: ICmp, l: u64, r: u64, ty: Ty) -> bool {
 }
 
 /// Evaluate an ordered float comparison.
+#[inline]
 pub fn eval_fcmp(pred: FCmp, l: f64, r: f64) -> bool {
     match pred {
         FCmp::Oeq => l == r,
@@ -511,6 +514,7 @@ pub fn eval_fcmp(pred: FCmp, l: f64, r: f64) -> bool {
 }
 
 /// Evaluate a conversion on raw bits.
+#[inline]
 pub fn eval_cast(op: CastOp, v: u64, from: Ty, to: Ty) -> u64 {
     match op {
         CastOp::Sext => (sext_bits(v, from) as u64) & to.mask(),

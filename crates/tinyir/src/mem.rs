@@ -5,8 +5,30 @@
 //! accessible, and touching an unmapped page produces the simulated
 //! equivalent of `SIGSEGV` (with the faulting address, like `siginfo_t`'s
 //! `si_addr`). Misaligned accesses produce the equivalent of `SIGBUS`.
+//!
+//! # The software TLB
+//!
+//! [`PagedMemory`] keeps two small direct-mapped translation caches — one
+//! for loads, one for stores — so the common same-page access skips both
+//! the page-table `HashMap` probe and the CoW `Arc::make_mut` ownership
+//! check. An entry caches a raw pointer to the page's backing allocation
+//! (the `[u8; 4096]` inside its `Arc`, which never moves even when the
+//! page-table rehashes). Validity is tracked with epochs:
+//!
+//! * a **read** entry is valid while the page stays mapped with the same
+//!   backing allocation — invalidated wholesale by bumping `read_epoch` on
+//!   `unmap_region`, and updated in place when a store unshares the page
+//!   (CoW replaces the allocation);
+//! * a **write** entry additionally requires the allocation to be
+//!   *exclusively owned* (entries are only filled right after
+//!   `Arc::make_mut`), so it must also die whenever the memory is cloned —
+//!   `clone()` shares every page with the snapshot, and a stale write
+//!   pointer would silently corrupt the forked sibling. `Clone::clone`
+//!   only gets `&self`, hence `write_epoch` is an atomic the clone path
+//!   can bump.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Page size of the simulated address space (4 KiB, like Linux/x86_64).
@@ -56,6 +78,29 @@ pub trait Memory {
     fn is_mapped(&self, addr: u64) -> bool;
 }
 
+/// Number of direct-mapped entries per TLB (indexed by the page number's
+/// low bits). 64 entries comfortably cover a stack page + the handful of
+/// global-array pages an inner loop streams through.
+const TLB_WAYS: usize = 64;
+
+/// One translation-cache entry. `epoch` must match the owning TLB's
+/// current epoch for the entry to be live; `page == u64::MAX` (no valid
+/// address maps there) marks a never-filled slot.
+#[derive(Clone, Copy)]
+struct TlbEntry {
+    page: u64,
+    epoch: u64,
+    ptr: *mut Page,
+}
+
+const TLB_EMPTY: TlbEntry =
+    TlbEntry { page: u64::MAX, epoch: 0, ptr: std::ptr::null_mut() };
+
+#[inline]
+fn tlb_idx(page: u64) -> usize {
+    page as usize & (TLB_WAYS - 1)
+}
+
 /// Sparse paged memory backed by a page-table hash map.
 ///
 /// Pages are reference-counted and copy-on-write: `clone()` shares every
@@ -63,11 +108,62 @@ pub trait Memory {
 /// and the first store to a shared page unshares just that page. Fresh
 /// mappings alias a single static zero page, so mapping a large region
 /// (e.g. the 32 MiB stack) allocates nothing until it is written.
-#[derive(Clone, Default)]
+///
+/// Loads and stores are accelerated by a software TLB (see module docs);
+/// the TLB is an invisible cache — behaviour is bit-identical to the
+/// TLB-free page-table walk (`tests/mem_model.rs` checks this against a
+/// reference model over arbitrary op interleavings).
 pub struct PagedMemory {
     pages: HashMap<u64, Arc<Page>>,
     /// Total number of loads+stores served (profiling aid).
     pub access_count: u64,
+    read_tlb: [TlbEntry; TLB_WAYS],
+    write_tlb: [TlbEntry; TLB_WAYS],
+    /// Epoch of live read entries; bumped on unmap.
+    read_epoch: u64,
+    /// Epoch of live write entries; bumped on unmap and on `clone()`
+    /// (atomic because `clone` only has `&self`).
+    write_epoch: AtomicU64,
+}
+
+// SAFETY: the raw TLB pointers always point into `Arc<Page>` allocations
+// owned (or co-owned) by `pages`, so they are valid whenever their epoch
+// check passes. They are only dereferenced under `&mut self` (`load` /
+// `store`), never through `&self`, so moving or sharing a `PagedMemory`
+// across threads cannot introduce a data race the borrow checker would
+// not already rule out for the equivalent pointer-free structure.
+unsafe impl Send for PagedMemory {}
+unsafe impl Sync for PagedMemory {}
+
+impl Default for PagedMemory {
+    fn default() -> PagedMemory {
+        PagedMemory {
+            pages: HashMap::new(),
+            access_count: 0,
+            read_tlb: [TLB_EMPTY; TLB_WAYS],
+            write_tlb: [TLB_EMPTY; TLB_WAYS],
+            // Epochs start above the never-filled entries' 0.
+            read_epoch: 1,
+            write_epoch: AtomicU64::new(1),
+        }
+    }
+}
+
+impl Clone for PagedMemory {
+    fn clone(&self) -> PagedMemory {
+        // Every page is now shared with the snapshot: a write through a
+        // stale write-TLB pointer would mutate the sibling's copy behind
+        // the CoW machinery's back, so retire the source's write TLB by
+        // bumping its epoch (read entries stay valid — the allocations
+        // survive and shared pages are read-safe). The snapshot starts
+        // with cold TLBs of its own.
+        self.write_epoch.fetch_add(1, Ordering::Relaxed);
+        PagedMemory {
+            pages: self.pages.clone(),
+            access_count: self.access_count,
+            ..PagedMemory::default()
+        }
+    }
 }
 
 impl PagedMemory {
@@ -97,58 +193,116 @@ impl PagedMemory {
         (addr / PAGE_SIZE, (addr % PAGE_SIZE) as usize)
     }
 
+    /// TLB-miss path for stores: probe the page table, unshare the page
+    /// (CoW), and refresh both TLBs — the write entry because the page is
+    /// now exclusively owned, the read entry because unsharing may have
+    /// *replaced* the backing allocation a read entry points at.
+    fn store_page_slow(&mut self, p: u64, fault_addr: u64) -> Result<&mut Page, MemFault> {
+        let arc = self.pages.get_mut(&p).ok_or(MemFault::Unmapped(fault_addr))?;
+        let ptr: *mut Page = Arc::make_mut(arc);
+        let i = tlb_idx(p);
+        self.write_tlb[i] =
+            TlbEntry { page: p, epoch: self.write_epoch.load(Ordering::Relaxed), ptr };
+        self.read_tlb[i] = TlbEntry { page: p, epoch: self.read_epoch, ptr };
+        // SAFETY: `ptr` was just derived from the exclusively-owned page.
+        Ok(unsafe { &mut *ptr })
+    }
+
     /// Read raw bytes without alignment checks (used by loaders/debuggers).
+    ///
+    /// Walks page-by-page (one page-table probe per page, `copy_from_slice`
+    /// for the bytes). A range crossing an unmapped hole faults with the
+    /// first unmapped address, exactly like the byte-at-a-time walk.
     pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
-        for (i, b) in buf.iter_mut().enumerate() {
-            let a = addr + i as u64;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr + done as u64;
             let (p, off) = Self::page_of(a);
+            let n = (PAGE_SIZE as usize - off).min(buf.len() - done);
             let page = self.pages.get(&p).ok_or(MemFault::Unmapped(a))?;
-            *b = page[off];
+            buf[done..done + n].copy_from_slice(&page[off..off + n]);
+            done += n;
         }
         Ok(())
     }
 
     /// Write raw bytes without alignment checks (used by loaders).
+    ///
+    /// Page-granular like [`read_bytes`](Self::read_bytes); pages before an
+    /// unmapped hole are written before the fault is reported (the same
+    /// partial effect as the byte-at-a-time walk, which always faults on a
+    /// page boundary).
     pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemFault> {
-        for (i, b) in buf.iter().enumerate() {
-            let a = addr + i as u64;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr + done as u64;
             let (p, off) = Self::page_of(a);
-            let page = self.pages.get_mut(&p).ok_or(MemFault::Unmapped(a))?;
-            Arc::make_mut(page)[off] = *b;
+            let n = (PAGE_SIZE as usize - off).min(buf.len() - done);
+            let page = self.store_page_slow(p, a)?;
+            page[off..off + n].copy_from_slice(&buf[done..done + n]);
+            done += n;
         }
         Ok(())
     }
 }
 
 impl Memory for PagedMemory {
+    #[inline]
     fn load(&mut self, addr: u64, size: u32) -> Result<u64, MemFault> {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
-        if !addr.is_multiple_of(size as u64) {
+        // `size` is a power of two, so the natural-alignment check is a
+        // mask — not the hardware division `addr % size` would cost.
+        if addr & (size as u64 - 1) != 0 {
             return Err(MemFault::Misaligned(addr));
         }
         self.access_count += 1;
         let (p, off) = Self::page_of(addr);
-        let page = self.pages.get(&p).ok_or(MemFault::Unmapped(addr))?;
+        let i = tlb_idx(p);
+        let e = self.read_tlb[i];
+        let page: &Page = if e.page == p && e.epoch == self.read_epoch {
+            // SAFETY: a live read entry points at the current backing
+            // allocation of a still-mapped page (see module docs).
+            unsafe { &*e.ptr }
+        } else {
+            let arc = self.pages.get(&p).ok_or(MemFault::Unmapped(addr))?;
+            let ptr = Arc::as_ptr(arc) as *mut Page;
+            self.read_tlb[i] = TlbEntry { page: p, epoch: self.read_epoch, ptr };
+            // SAFETY: `ptr` points into the `Arc` the page table holds.
+            unsafe { &*ptr }
+        };
         // Natural alignment guarantees the value does not straddle a page.
-        let mut bits = 0u64;
-        for i in 0..size as usize {
-            bits |= (page[off + i] as u64) << (8 * i);
-        }
-        Ok(bits)
+        Ok(match size {
+            1 => page[off] as u64,
+            2 => u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as u64,
+            4 => u32::from_le_bytes(page[off..off + 4].try_into().unwrap()) as u64,
+            _ => u64::from_le_bytes(page[off..off + 8].try_into().unwrap()),
+        })
     }
 
+    #[inline]
     fn store(&mut self, addr: u64, size: u32, bits: u64) -> Result<(), MemFault> {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
-        if !addr.is_multiple_of(size as u64) {
+        if addr & (size as u64 - 1) != 0 {
             return Err(MemFault::Misaligned(addr));
         }
         self.access_count += 1;
         let (p, off) = Self::page_of(addr);
-        let page = self.pages.get_mut(&p).ok_or(MemFault::Unmapped(addr))?;
-        // Unshare the page on first write (no-op once exclusively owned).
-        let page = Arc::make_mut(page);
-        for i in 0..size as usize {
-            page[off + i] = (bits >> (8 * i)) as u8;
+        let e = self.write_tlb[tlb_idx(p)];
+        let page: &mut Page =
+            if e.page == p && e.epoch == self.write_epoch.load(Ordering::Relaxed) {
+                // SAFETY: a live write entry points at the exclusively-owned
+                // backing allocation of a still-mapped page — exclusivity
+                // can only be lost through `clone()`/`unmap_region`, both of
+                // which bump `write_epoch` (see module docs).
+                unsafe { &mut *e.ptr }
+            } else {
+                self.store_page_slow(p, addr)?
+            };
+        match size {
+            1 => page[off] = bits as u8,
+            2 => page[off..off + 2].copy_from_slice(&(bits as u16).to_le_bytes()),
+            4 => page[off..off + 4].copy_from_slice(&(bits as u32).to_le_bytes()),
+            _ => page[off..off + 8].copy_from_slice(&bits.to_le_bytes()),
         }
         Ok(())
     }
@@ -160,6 +314,9 @@ impl Memory for PagedMemory {
         let first = addr / PAGE_SIZE;
         let last = (addr + len - 1) / PAGE_SIZE;
         for p in first..=last {
+            // Already-mapped pages keep their allocation, so live TLB
+            // entries stay correct; fresh pages cannot have live entries
+            // (unmap bumped the epochs when they were last dropped).
             self.pages.entry(p).or_insert_with(|| Arc::clone(zero_page()));
         }
     }
@@ -173,6 +330,9 @@ impl Memory for PagedMemory {
         for p in first..=last {
             self.pages.remove(&p);
         }
+        // Dropping a page may free its allocation: retire both TLBs.
+        self.read_epoch += 1;
+        self.write_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     fn is_mapped(&self, addr: u64) -> bool {
@@ -246,6 +406,48 @@ mod tests {
     }
 
     #[test]
+    fn bulk_io_crosses_pages() {
+        let mut m = PagedMemory::new();
+        m.map_region(0x1000, 3 * PAGE_SIZE);
+        let data: Vec<u8> = (0..2 * PAGE_SIZE + 100).map(|i| (i % 251) as u8).collect();
+        m.write_bytes(0x1000 + PAGE_SIZE / 2, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        m.read_bytes(0x1000 + PAGE_SIZE / 2, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn bulk_read_across_unmapped_hole_faults_with_first_unmapped_address() {
+        let mut m = PagedMemory::new();
+        // Mapped page at 0x1000, hole at 0x2000, mapped again at 0x3000.
+        m.map_region(0x1000, PAGE_SIZE);
+        m.map_region(0x3000, PAGE_SIZE);
+        let mut buf = [0u8; 0x30];
+        // Read starts mid-page and crosses into the hole: the fault address
+        // must be the first byte of the unmapped page, not the range start.
+        assert_eq!(
+            m.read_bytes(0x1ff0, &mut buf),
+            Err(MemFault::Unmapped(0x2000))
+        );
+        // A read starting inside the hole faults at its own first byte.
+        assert_eq!(
+            m.read_bytes(0x2ff8, &mut buf),
+            Err(MemFault::Unmapped(0x2ff8))
+        );
+        // Same contract for writes.
+        assert_eq!(
+            m.write_bytes(0x1ff0, &buf),
+            Err(MemFault::Unmapped(0x2000))
+        );
+        // And a multi-page gap still reports the *first* unmapped address.
+        let mut big = vec![0u8; 3 * PAGE_SIZE as usize];
+        assert_eq!(
+            m.read_bytes(0x1000, &mut big),
+            Err(MemFault::Unmapped(0x2000))
+        );
+    }
+
+    #[test]
     fn clone_shares_pages_until_written() {
         let mut m = PagedMemory::new();
         m.map_region(0x1000, 4 * PAGE_SIZE);
@@ -285,5 +487,123 @@ mod tests {
         let addr = 0x1000 + PAGE_SIZE - 8;
         m.store(addr, 8, 42).unwrap();
         assert_eq!(m.load(addr, 8).unwrap(), 42);
+    }
+
+    // ------------------------------------------------------------------
+    // TLB invalidation: each test arms a TLB entry, triggers one of the
+    // invalidation events, and checks the next access cannot go stale.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn stale_write_tlb_after_clone_cannot_corrupt_the_snapshot() {
+        let mut m = PagedMemory::new();
+        m.map_region(0x1000, PAGE_SIZE);
+        // Arm the write TLB with an exclusively-owned page.
+        m.store(0x1000, 8, 0xAAAA).unwrap();
+        assert_eq!(m.private_pages(), 1);
+        let mut snap = m.clone();
+        // This store must miss the (retired) write TLB, unshare the page,
+        // and leave the snapshot's copy untouched.
+        m.store(0x1000, 8, 0xBBBB).unwrap();
+        assert_eq!(snap.load(0x1000, 8).unwrap(), 0xAAAA);
+        assert_eq!(m.load(0x1000, 8).unwrap(), 0xBBBB);
+        // And again with the roles flipped (snapshot writes first).
+        let mut m2 = snap.clone();
+        snap.store(0x1000, 8, 0xCCCC).unwrap();
+        assert_eq!(m2.load(0x1000, 8).unwrap(), 0xAAAA);
+        assert_eq!(snap.load(0x1000, 8).unwrap(), 0xCCCC);
+        m2.store(0x1000, 8, 0xDDDD).unwrap();
+        assert_eq!(snap.load(0x1000, 8).unwrap(), 0xCCCC);
+    }
+
+    #[test]
+    fn repeated_clones_each_retire_the_write_tlb() {
+        let mut m = PagedMemory::new();
+        m.map_region(0x1000, PAGE_SIZE);
+        for round in 0..4u64 {
+            // Re-arm the write TLB (store unshares + fills the entry)...
+            m.store(0x1000, 8, round).unwrap();
+            // ...then clone and make sure the sibling never sees the next
+            // round's write.
+            let mut snap = m.clone();
+            m.store(0x1000, 8, round + 100).unwrap();
+            assert_eq!(snap.load(0x1000, 8).unwrap(), round);
+        }
+    }
+
+    #[test]
+    fn read_tlb_is_updated_when_a_store_unshares_the_page() {
+        let mut m = PagedMemory::new();
+        m.map_region(0x1000, PAGE_SIZE);
+        m.store(0x1000, 8, 0x1111).unwrap();
+        let snap = m.clone();
+        // Arm m's read TLB on the (now shared) page...
+        assert_eq!(m.load(0x1000, 8).unwrap(), 0x1111);
+        // ...then unshare it via a store: the read entry must follow the
+        // page to its new allocation, not keep serving the snapshot's copy.
+        m.store(0x1008, 8, 0x2222).unwrap();
+        assert_eq!(m.load(0x1000, 8).unwrap(), 0x1111);
+        assert_eq!(m.load(0x1008, 8).unwrap(), 0x2222);
+        drop(snap);
+    }
+
+    #[test]
+    fn read_tlb_is_updated_when_a_store_materialises_a_zero_page() {
+        let mut m = PagedMemory::new();
+        m.map_region(0x1000, PAGE_SIZE);
+        // Arm the read TLB on the zero-page alias.
+        assert_eq!(m.load(0x1000, 8).unwrap(), 0);
+        // First write replaces the alias with a private allocation; reads
+        // must see it immediately.
+        m.store(0x1000, 8, 77).unwrap();
+        assert_eq!(m.load(0x1000, 8).unwrap(), 77);
+    }
+
+    #[test]
+    fn unmap_invalidates_both_tlbs() {
+        let mut m = PagedMemory::new();
+        m.map_region(0x1000, PAGE_SIZE);
+        m.store(0x1000, 8, 5).unwrap(); // arms write TLB
+        assert_eq!(m.load(0x1000, 8).unwrap(), 5); // arms read TLB
+        m.unmap_region(0x1000, PAGE_SIZE);
+        // Stale entries must not let accesses reach the freed page.
+        assert_eq!(m.load(0x1000, 8), Err(MemFault::Unmapped(0x1000)));
+        assert_eq!(m.store(0x1000, 8, 9), Err(MemFault::Unmapped(0x1000)));
+        // Remapping yields a fresh zero page, not the old contents.
+        m.map_region(0x1000, PAGE_SIZE);
+        assert_eq!(m.load(0x1000, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn tlb_handles_colliding_pages() {
+        // Pages 0x1000 and 0x1000 + TLB_WAYS*PAGE_SIZE map to the same
+        // direct-mapped slot; alternating accesses must stay correct.
+        let a = 0x1000u64;
+        let b = a + TLB_WAYS as u64 * PAGE_SIZE;
+        let mut m = PagedMemory::new();
+        m.map_region(a, PAGE_SIZE);
+        m.map_region(b, PAGE_SIZE);
+        for i in 0..8u64 {
+            m.store(a, 8, i).unwrap();
+            m.store(b, 8, 1000 + i).unwrap();
+            assert_eq!(m.load(a, 8).unwrap(), i);
+            assert_eq!(m.load(b, 8).unwrap(), 1000 + i);
+        }
+    }
+
+    #[test]
+    fn write_bytes_keeps_tlbs_coherent() {
+        let mut m = PagedMemory::new();
+        m.map_region(0x1000, 2 * PAGE_SIZE);
+        // Arm the read TLB on the second page.
+        assert_eq!(m.load(0x2000, 8).unwrap(), 0);
+        let snap = m.clone();
+        // Bulk write spans both pages, unsharing them.
+        let data = vec![0xAB; PAGE_SIZE as usize + 16];
+        m.write_bytes(0x1ff0, &data).unwrap();
+        assert_eq!(m.load(0x2000, 8).unwrap(), 0xABAB_ABAB_ABAB_ABAB);
+        // The snapshot still reads zeros.
+        let mut s = snap;
+        assert_eq!(s.load(0x2000, 8).unwrap(), 0);
     }
 }

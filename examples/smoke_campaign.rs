@@ -1,0 +1,49 @@
+//! CI smoke test: a 30-injection CARE coverage campaign on HPCCG.
+//!
+//! Small enough to finish in seconds on a cold runner, but end-to-end real:
+//! compile at O1, run Armor, fork 30 snapshot processes, inject single-bit
+//! flips, classify every outcome, and evaluate CARE recovery on the faults
+//! that trap. Exits nonzero (assert) if the pipeline stops covering faults —
+//! the one regression a unit suite can miss, because it needs the compiler,
+//! the interpreter fast path, the campaign engine and Safeguard all working
+//! against each other.
+//!
+//! ```sh
+//! cargo run --release --example smoke_campaign
+//! ```
+
+use faultsim::{Campaign, CampaignConfig, FaultModel};
+use opt::OptLevel;
+
+fn main() {
+    let w = workloads::hpccg::default();
+    let app = care::compile(&w.module, OptLevel::O1);
+    let campaign = Campaign::prepare(&w, app, vec![]);
+    let r = campaign.run(&CampaignConfig {
+        injections: 30,
+        model: FaultModel::SingleBit,
+        evaluate_care: true,
+        app_only: true,
+        seed: 0x5300CE,
+        ..CampaignConfig::default()
+    });
+    println!(
+        "smoke campaign: 30 injections on HPCCG -> {} benign, {} soft, {} sdc, {} hang; \
+         CARE evaluated {}, covered {}",
+        r.benign, r.soft_failure, r.sdc, r.hang, r.care_evaluated, r.care_covered
+    );
+    assert_eq!(
+        r.benign + r.soft_failure + r.sdc + r.hang,
+        30,
+        "every injection must be classified"
+    );
+    assert!(
+        r.care_evaluated > 0,
+        "no injection trapped — the fault model or injection siting regressed"
+    );
+    assert!(
+        r.care_covered > 0,
+        "CARE recovered zero trapped faults — the recovery pipeline regressed"
+    );
+    println!("smoke campaign OK");
+}
