@@ -13,12 +13,30 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator};
 }
 
+/// Configured pool width: the `CARE_THREADS` environment override when it
+/// parses to a positive integer, otherwise the machine's available
+/// parallelism.
+fn configured_threads() -> usize {
+    std::env::var("CARE_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Mirror of `rayon::current_num_threads`: the pool width parallel work
+/// fans out to (before capping at the item count).
+pub fn current_num_threads() -> usize {
+    configured_threads()
+}
+
 /// Number of worker threads to use for `n` items.
 fn worker_count(n: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1)
-        .min(n)
+    configured_threads().min(n)
 }
 
 /// How many chunks each worker should see on average: enough slack for
@@ -232,6 +250,19 @@ mod tests {
         let a: Vec<usize> = (0..500usize).into_par_iter().map(work).collect();
         let b: Vec<usize> = (0..500usize).map(work).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn care_threads_env_overrides_pool_width() {
+        // Runs in the same process as the other tests, but they only
+        // assert order/content — which hold at any pool width.
+        std::env::set_var("CARE_THREADS", "2");
+        assert_eq!(crate::current_num_threads(), 2);
+        let out: Vec<usize> = (0..64usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+        std::env::set_var("CARE_THREADS", "not-a-number");
+        assert!(crate::current_num_threads() >= 1);
+        std::env::remove_var("CARE_THREADS");
     }
 
     #[test]

@@ -141,18 +141,29 @@ fn bench_campaign(c: &mut Criterion) {
 }
 
 fn bench_campaign_throughput(c: &mut Criterion) {
+    use faultsim::Scheduler;
     let mut g = c.benchmark_group("campaign_throughput");
     for w in [workloads::hpccg::default(), workloads::gtcp::default()] {
         let app = care::compile(&w.module, OptLevel::O1);
         let campaign = Campaign::prepare(&w, app, vec![]);
-        let cfg = CampaignConfig {
-            injections: 50,
-            evaluate_care: true,
-            app_only: true,
-            seed: 7,
-            ..CampaignConfig::default()
-        };
-        g.bench_function(w.name, |b| b.iter(|| campaign.run(&cfg)));
+        // Same seed and injection set under both schedulers: the delta is
+        // pure scheduling (shared cursor pass vs per-injection prefixes).
+        for (label, scheduler) in [
+            ("trellis", Scheduler::Trellis),
+            ("per_injection", Scheduler::PerInjection),
+        ] {
+            let cfg = CampaignConfig {
+                injections: 50,
+                evaluate_care: true,
+                app_only: true,
+                seed: 7,
+                scheduler,
+                ..CampaignConfig::default()
+            };
+            g.bench_function(format!("{label}/{}", w.name), |b| {
+                b.iter(|| campaign.run(&cfg))
+            });
+        }
     }
     // Raw interpreter throughput: one full hook-free (fast-loop) run from a
     // snapshot-forked started process — the per-injection inner cost every

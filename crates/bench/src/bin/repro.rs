@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the CARE paper.
 //!
 //! ```text
-//! repro [--injections N] [--seed S] [experiments...]
+//! repro [--injections N] [--seed S] [--threads N] [experiments...]
 //!
 //! experiments: table2 table3 table4 table5 table8 table9 table10 table11
 //!              fig7 fig9 fig10 fig12 all            (default: all)
@@ -25,12 +25,14 @@ use std::collections::HashMap;
 struct Args {
     injections: usize,
     seed: u64,
+    threads: Option<usize>,
     experiments: Vec<String>,
 }
 
 fn parse_args() -> Args {
     let mut injections = 300;
     let mut seed = 0xCA2E;
+    let mut threads = None;
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -44,9 +46,17 @@ fn parse_args() -> Args {
             "--seed" => {
                 seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
             }
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&t: &usize| t >= 1)
+                        .expect("--threads N (N >= 1)"),
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--injections N] [--seed S] [table2|table3|table4|table5|table8|table9|table10|table11|fig7|fig9|fig10|fig12|bench-json|all]..."
+                    "usage: repro [--injections N] [--seed S] [--threads N] [table2|table3|table4|table5|table8|table9|table10|table11|fig7|fig9|fig10|fig12|bench-json|all]..."
                 );
                 std::process::exit(0);
             }
@@ -66,7 +76,7 @@ fn parse_args() -> Args {
             std::process::exit(2);
         }
     }
-    Args { injections, seed, experiments }
+    Args { injections, seed, threads, experiments }
 }
 
 /// `repro bench-json`: time end-to-end CARE coverage campaigns on the full
@@ -93,7 +103,9 @@ fn bench_json(injections: usize, seed: u64) {
              \"care_evaluated\": {},\n      \"care_covered\": {},\n      \
              \"wall_s\": {:.6},\n      \"injections_per_sec\": {:.2},\n      \
              \"simulated_instructions\": {},\n      \
-             \"simulated_instructions_per_sec\": {:.0}\n    }}",
+             \"simulated_instructions_per_sec\": {:.0},\n      \
+             \"sim_steps_prefix\": {},\n      \"sim_steps_suffix\": {},\n      \
+             \"sim_steps_care\": {},\n      \"trellis_snapshots\": {}\n    }}",
             p.name,
             injections,
             r.total(),
@@ -103,6 +115,10 @@ fn bench_json(injections: usize, seed: u64) {
             injections as f64 / wall_s,
             r.simulated_steps,
             r.simulated_steps as f64 / wall_s,
+            r.steps_prefix,
+            r.steps_suffix,
+            r.steps_care,
+            r.trellis_snapshots,
         )
         .unwrap();
         eprintln!(
@@ -115,7 +131,9 @@ fn bench_json(injections: usize, seed: u64) {
     }
     let json = format!(
         "{{\n  \"campaign\": \"coverage (evaluate_care, app_only)\",\n  \
-         \"seed\": {seed},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+         \"scheduler\": \"trellis\",\n  \"seed\": {seed},\n  \
+         \"threads\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        rayon::current_num_threads(),
         entries.join(",\n")
     );
     std::fs::write("BENCH_campaign.json", json).expect("write BENCH_campaign.json");
@@ -124,6 +142,11 @@ fn bench_json(injections: usize, seed: u64) {
 
 fn main() {
     let args = parse_args();
+    if let Some(t) = args.threads {
+        // The rayon shim reads CARE_THREADS when sizing its worker pool;
+        // set it before any campaign fans out.
+        std::env::set_var("CARE_THREADS", t.to_string());
+    }
     let want = |name: &str| {
         args.experiments.iter().any(|e| e == name || e == "all")
     };

@@ -1,6 +1,20 @@
 //! Campaign orchestration: golden runs, per-injection classification, and
 //! the aggregate report that regenerates the paper's Tables 2–4, Figure 7,
 //! Figure 9 and the Appendix tables.
+//!
+//! Two schedulers drive a campaign (selected by [`CampaignConfig::scheduler`],
+//! observationally identical per injection):
+//!
+//! * **Snapshot trellis** (default): all `N` injection points are sampled up
+//!   front, registered as one multi-breakpoint set, and a single instrumented
+//!   *cursor* process advances through the program once, CoW-forking a paused
+//!   snapshot each time a pending `(I, n)` fires. Workers then run only the
+//!   suffix (inject → classify → CARE-protected fork) from their snapshot, in
+//!   parallel. Campaign-wide simulated instructions drop from ~`N·L` to
+//!   ~`L + Σ suffixes`.
+//! * **Per-injection**: every injection clones the template and re-simulates
+//!   its own prefix up to the breakpoint (the pre-trellis engine, kept as the
+//!   equivalence baseline and for single-injection use via [`Campaign::run_one`]).
 
 use crate::injector::{
     inject, pick_injection_point, FaultModel, InjectedInto, InjectionPoint,
@@ -10,7 +24,8 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use safeguard::{run_protected, DeclineKind, ProtectedExit, RecoveryIndex, Safeguard};
-use simx::{ModuleId, Process, Profile, RunExit, TrapKind};
+use simx::{BreakSet, ModuleId, Process, Profile, RunExit, TrapKind};
+use std::collections::HashMap;
 use std::sync::Arc;
 use workloads::Workload;
 
@@ -41,7 +56,7 @@ pub enum Outcome {
 }
 
 /// CARE's verdict on one SIGSEGV-producing injection (Figure 7 / 9 data).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct CareResult {
     /// True when the protected run completed with bit-clean outputs.
     pub covered: bool,
@@ -53,8 +68,31 @@ pub struct CareResult {
     pub decline: Option<DeclineKind>,
 }
 
+/// Per-stage dynamic-instruction accounting for one injection. The three
+/// stages partition the work the injection is *semantically responsible
+/// for*; whether the prefix was actually re-simulated (per-injection
+/// scheduler) or shared via a trellis snapshot is a property of the
+/// campaign, recorded in [`CampaignReport::steps_prefix`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StepSplit {
+    /// Instructions from process start to the injection point.
+    pub prefix: u64,
+    /// Instructions from the injection to the unprotected outcome.
+    pub suffix: u64,
+    /// Instructions of the CARE-protected re-run (its suffix only; the
+    /// protected run resumes from the pre-injection fork).
+    pub care: u64,
+}
+
+impl StepSplit {
+    /// Total attributed instructions.
+    pub fn total(&self) -> u64 {
+        self.prefix + self.suffix + self.care
+    }
+}
+
 /// Everything recorded about one injection.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct InjectionRecord {
     /// Where and when the fault was injected.
     pub point: InjectionPoint,
@@ -64,11 +102,24 @@ pub struct InjectionRecord {
     pub outcome: Outcome,
     /// Manifestation latency in dynamic instructions (soft failures only).
     pub latency: Option<u64>,
-    /// Dynamic instructions simulated on behalf of this injection
-    /// (unprotected run, plus the protected suffix for CARE evaluations).
+    /// Dynamic instructions attributed to this injection (prefix +
+    /// unprotected suffix, plus the protected suffix for CARE evaluations).
     pub sim_steps: u64,
+    /// The prefix/suffix/CARE breakdown of `sim_steps`.
+    pub split: StepSplit,
     /// CARE evaluation (SIGSEGV injections when enabled).
     pub care: Option<CareResult>,
+}
+
+/// Which engine drives [`Campaign::run`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Scheduler {
+    /// One shared instrumented prefix pass; CoW-forked suffixes (default).
+    #[default]
+    Trellis,
+    /// Every injection re-simulates its own prefix (the pre-trellis
+    /// engine; bit-identical records, ~2x the simulated instructions).
+    PerInjection,
 }
 
 /// Campaign parameters.
@@ -97,6 +148,8 @@ pub struct CampaignConfig {
     /// large campaigns only need the aggregates, and the records dominate
     /// the report's memory.
     pub keep_records: bool,
+    /// Which campaign engine to use (records are identical either way).
+    pub scheduler: Scheduler,
 }
 
 impl Default for CampaignConfig {
@@ -112,6 +165,7 @@ impl Default for CampaignConfig {
             patch_base_first: false,
             skip_equality_guard: false,
             keep_records: false,
+            scheduler: Scheduler::Trellis,
         }
     }
 }
@@ -187,8 +241,21 @@ impl Campaign {
             })
     }
 
-    /// Run one injection (deterministic in `(cfg.seed, index)`).
-    pub fn run_one(&self, cfg: &CampaignConfig, index: usize) -> Option<InjectionRecord> {
+    /// The campaign-wide instruction budget: a run (prefix *and* suffix
+    /// together) exceeding it is classified as a hang.
+    fn fuel_budget(&self, cfg: &CampaignConfig) -> u64 {
+        self.golden_steps.saturating_mul(cfg.hang_factor).max(1_000_000)
+    }
+
+    /// Sample injection `index`'s `(I, n)` point, deterministic in
+    /// `(cfg.seed, index)`. Returns the point plus the RNG in the exact
+    /// post-sampling state the bit-flip draws continue from, so pre-sampling
+    /// (trellis) and inline sampling (per-injection) yield identical records.
+    fn sample_point(
+        &self,
+        cfg: &CampaignConfig,
+        index: usize,
+    ) -> Option<(InjectionPoint, SmallRng)> {
         let modules: Option<Vec<ModuleId>> = cfg.app_only.then(|| vec![ModuleId(0)]);
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9e37));
         // The paper's fault model corrupts *destination operands* (a
@@ -206,17 +273,22 @@ impl Campaign {
         };
         let point =
             pick_injection_point(&self.profile, &mut rng, modules.as_deref(), &eligible)?;
+        Some((point, rng))
+    }
 
-        // --- unprotected run: raw manifestation (§2 methodology) ---------
-        let mut p = self.template.clone();
-        p.fuel = self.golden_steps.saturating_mul(cfg.hang_factor).max(1_000_000);
-        p.break_at = Some((point.module, point.func, point.inst, point.nth));
-        match p.run() {
-            RunExit::BreakHit => {}
-            // The breakpoint is derived from the profile, so this is
-            // unreachable for deterministic programs; be safe anyway.
-            _ => return None,
-        }
+    /// Inject into a process paused right after `point`'s `nth` execution
+    /// and classify the fallout. `p` must carry the remaining fuel of the
+    /// campaign budget (a fork inherits it; a fresh full budget would let
+    /// late injection points overshoot the hang bound by nearly 2x) and the
+    /// RNG must be in the post-[`Campaign::sample_point`] state.
+    fn run_suffix(
+        &self,
+        cfg: &CampaignConfig,
+        point: InjectionPoint,
+        rng: &SmallRng,
+        mut p: Process,
+    ) -> Option<InjectionRecord> {
+        let prefix_steps = p.steps;
         // Snapshot-fork the paused process *before* corrupting it: the
         // protected CARE evaluation resumes from this fork instead of
         // re-simulating the whole prefix.
@@ -226,7 +298,6 @@ impl Campaign {
         if target == InjectedInto::Skipped {
             return None;
         }
-        let steps_at_injection = p.steps;
         let (outcome, latency) = match p.run() {
             RunExit::Done(_) => {
                 if self.outputs_clean(&p) {
@@ -239,16 +310,17 @@ impl Campaign {
                 TrapKind::OutOfFuel => (Outcome::Hang, None),
                 kind => (
                     Outcome::SoftFailure(signal_of(kind)),
-                    Some(p.steps - steps_at_injection),
+                    Some(p.steps - prefix_steps),
                 ),
             },
             RunExit::BreakHit => unreachable!("breakpoint already consumed"),
         };
-        let mut sim_steps = p.steps;
+        let suffix_steps = p.steps - prefix_steps;
 
         // --- protected run for SIGSEGV injections (§5 methodology):
         // resume the pre-injection fork, repeat the same flip, and let
         // Safeguard handle the fallout -------------------------------------
+        let mut care_steps = 0u64;
         let care = if outcome == Outcome::SoftFailure(Signal::Segv) {
             paused.map(|mut p| {
                 let mut flip_rng = rng.clone();
@@ -279,23 +351,153 @@ impl Campaign {
                         decline: Some(DeclineKind::Hang),
                     },
                 };
-                sim_steps += p.steps - steps_at_injection;
+                care_steps = p.steps - prefix_steps;
                 care
             })
         } else {
             None
         };
 
-        Some(InjectionRecord { point, target, outcome, latency, sim_steps, care })
+        let split = StepSplit { prefix: prefix_steps, suffix: suffix_steps, care: care_steps };
+        Some(InjectionRecord {
+            point,
+            target,
+            outcome,
+            latency,
+            sim_steps: split.total(),
+            split,
+            care,
+        })
     }
 
-    /// Run the full campaign (rayon-parallel across injections).
-    pub fn run(&self, cfg: &CampaignConfig) -> CampaignReport {
+    /// Run one injection end-to-end, re-simulating its prefix
+    /// (deterministic in `(cfg.seed, index)`).
+    pub fn run_one(&self, cfg: &CampaignConfig, index: usize) -> Option<InjectionRecord> {
+        let (point, rng) = self.sample_point(cfg, index)?;
+        // --- unprotected run: raw manifestation (§2 methodology) ---------
+        let mut p = self.template.clone();
+        p.fuel = self.fuel_budget(cfg);
+        p.break_at = Some((point.module, point.func, point.inst, point.nth));
+        match p.run() {
+            RunExit::BreakHit => {}
+            // The breakpoint is derived from the profile, so this is
+            // unreachable for deterministic programs; be safe anyway.
+            _ => return None,
+        }
+        self.run_suffix(cfg, point, &rng, p)
+    }
+
+    /// The per-injection scheduler: rayon-parallel `run_one` calls, each
+    /// re-simulating its own prefix.
+    fn run_per_injection(&self, cfg: &CampaignConfig) -> CampaignReport {
         let records: Vec<InjectionRecord> = (0..cfg.injections)
             .into_par_iter()
             .filter_map(|i| self.run_one(cfg, i))
             .collect();
+        CampaignReport::from_records(records)
+    }
+
+    /// The snapshot-trellis scheduler: sample all points up front, advance
+    /// one instrumented cursor through the program, CoW-fork a snapshot at
+    /// each distinct firing point, then run only the suffixes in parallel.
+    fn run_trellis(&self, cfg: &CampaignConfig) -> CampaignReport {
+        // Phase 1 — sampling. Same per-index RNG stream as `run_one`, so
+        // every downstream bit-flip draw is identical.
+        let samples: Vec<(InjectionPoint, SmallRng)> = (0..cfg.injections)
+            .filter_map(|i| self.sample_point(cfg, i))
+            .collect();
+
+        // Phase 2 — register each *distinct* point once. Injection indexes
+        // that sampled the same `(I, n)` share one trellis snapshot.
+        let mut breaks = BreakSet::new();
+        for (point, _) in &samples {
+            breaks.add(point.module, point.func, point.inst, point.nth);
+        }
+
+        // Phase 3 — the cursor pass: one instrumented traversal of the
+        // program under the campaign fuel budget, forking a paused snapshot
+        // at every firing point. The snapshot drops the multi-breakpoint
+        // set, so suffix forks run in the hook-free fast loop; the cursor is
+        // dropped as soon as the last pending point fires (the golden tail
+        // past the final injection point is never re-simulated).
+        let mut snapshots: Vec<Process> = Vec::new();
+        let mut snapshot_of: HashMap<InjectionPoint, usize> = HashMap::new();
+        let mut cursor = self.template.clone();
+        cursor.fuel = self.fuel_budget(cfg);
+        cursor.multi_break = Some(breaks);
+        while !cursor.multi_break.as_ref().expect("trellis cursor").is_empty() {
+            match cursor.run() {
+                RunExit::BreakHit => {
+                    let (module, func, inst, nth) = cursor
+                        .multi_break
+                        .as_mut()
+                        .expect("trellis cursor")
+                        .take_fired()
+                        .expect("BreakHit reports its firing point");
+                    let mut snap = cursor.clone();
+                    snap.multi_break = None;
+                    snapshot_of
+                        .insert(InjectionPoint { module, func, inst, nth }, snapshots.len());
+                    snapshots.push(snap);
+                }
+                // Completion (or a trap) with points still pending: those
+                // indexes yield no record, exactly like a `run_one` whose
+                // breakpoint never fired.
+                _ => break,
+            }
+        }
+        let cursor_steps = cursor.steps;
+        drop(cursor);
+
+        // Phase 4 — suffix scheduling: rayon-parallel over injection
+        // indexes (order-preserving, so records match the per-injection
+        // scheduler element for element); each worker CoW-forks its
+        // snapshot and runs inject → classify → CARE. The *last* consumer
+        // of each snapshot takes ownership instead of cloning it — an
+        // injection point sampled once (the common case) never pays a
+        // fork at all.
+        let trellis_snapshots = snapshots.len();
+        let mut uses: Vec<usize> = vec![0; snapshots.len()];
+        for (point, _) in &samples {
+            if let Some(&slot) = snapshot_of.get(point) {
+                uses[slot] += 1;
+            }
+        }
+        let mut slots: Vec<Option<Process>> = snapshots.into_iter().map(Some).collect();
+        let jobs: Vec<(InjectionPoint, SmallRng, Option<Process>)> = samples
+            .into_iter()
+            .map(|(point, rng)| {
+                let p = snapshot_of.get(&point).and_then(|&slot| {
+                    uses[slot] -= 1;
+                    if uses[slot] == 0 {
+                        slots[slot].take()
+                    } else {
+                        slots[slot].clone()
+                    }
+                });
+                (point, rng, p)
+            })
+            .collect();
+        let records: Vec<InjectionRecord> = jobs
+            .into_par_iter()
+            .filter_map(|(point, rng, p)| self.run_suffix(cfg, point, &rng, p?))
+            .collect();
+
         let mut report = CampaignReport::from_records(records);
+        // The attributed per-record prefixes were simulated once, by the
+        // cursor: report what actually executed.
+        report.trellis_snapshots = trellis_snapshots;
+        report.steps_prefix = cursor_steps;
+        report.simulated_steps = cursor_steps + report.steps_suffix + report.steps_care;
+        report
+    }
+
+    /// Run the full campaign under [`CampaignConfig::scheduler`].
+    pub fn run(&self, cfg: &CampaignConfig) -> CampaignReport {
+        let mut report = match cfg.scheduler {
+            Scheduler::Trellis => self.run_trellis(cfg),
+            Scheduler::PerInjection => self.run_per_injection(cfg),
+        };
         if !cfg.keep_records {
             report.records = Vec::new();
         }
@@ -344,9 +546,24 @@ pub struct CampaignReport {
     pub total_recoveries: u64,
     /// Decline-reason histogram of uncovered runs.
     pub declines: std::collections::HashMap<DeclineKind, usize>,
-    /// Total dynamic instructions simulated across all injections (the
-    /// denominator of simulated-instructions/sec throughput).
+    /// Total dynamic instructions *actually executed* by the campaign (the
+    /// denominator of simulated-instructions/sec throughput). Under the
+    /// per-injection scheduler this equals the sum of the per-record
+    /// `sim_steps`; under the trellis scheduler the shared cursor pass
+    /// replaces the per-injection prefixes, so it is
+    /// `steps_prefix + steps_suffix + steps_care`.
     pub simulated_steps: u64,
+    /// Prefix-stage instructions actually executed: Σ per-record prefixes
+    /// (per-injection scheduler) or the single cursor pass (trellis).
+    pub steps_prefix: u64,
+    /// Unprotected-suffix instructions (identical under both schedulers).
+    pub steps_suffix: u64,
+    /// CARE-protected re-run instructions (identical under both schedulers).
+    pub steps_care: u64,
+    /// Distinct trellis snapshots forked by the cursor pass (0 under the
+    /// per-injection scheduler); strictly less than the classified total
+    /// whenever injection indexes sampled duplicate points.
+    pub trellis_snapshots: usize,
     /// Raw records; populated only when [`CampaignConfig::keep_records`]
     /// is set.
     pub records: Vec<InjectionRecord>,
@@ -382,6 +599,9 @@ impl CampaignReport {
                 }
             }
             r.simulated_steps += rec.sim_steps;
+            r.steps_prefix += rec.split.prefix;
+            r.steps_suffix += rec.split.suffix;
+            r.steps_care += rec.split.care;
             if let Some(c) = &rec.care {
                 r.care_evaluated += 1;
                 if c.covered {
@@ -436,5 +656,144 @@ impl CampaignReport {
             _ => total,
         };
         within as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod scheduler_tests {
+    use super::*;
+    use opt::OptLevel;
+
+    fn tiny_campaign() -> Campaign {
+        // A deliberately short program: with ~tens of eligible dynamic
+        // instructions and many injections, the pigeonhole principle
+        // guarantees duplicate `(I, n)` samples.
+        use tinyir::builder::ModuleBuilder;
+        use tinyir::{Ty, Value};
+        let mut mb = ModuleBuilder::new("tiny", "tiny.c");
+        let out = mb.global_zeroed("out", Ty::I64, 8);
+        mb.define("main", vec![Ty::I64], Some(Ty::I64), |fb| {
+            let acc = fb.alloca(Ty::I64, 1);
+            fb.store(Value::i64(1), acc);
+            fb.for_loop(Value::i64(0), fb.arg(0), |fb, i| {
+                let a = fb.load(acc, Ty::I64);
+                let s = fb.add(a, i, Ty::I64);
+                fb.store(s, acc);
+                let slot = fb.srem(i, Value::i64(8), Ty::I64);
+                fb.store_elem(s, fb.global(out), slot, Ty::I64);
+            });
+            let r = fb.load(acc, Ty::I64);
+            fb.ret(Some(r));
+        });
+        let w = workloads::Workload::new("tiny", mb.finish(), vec![6], vec![("out", 64)]);
+        let app = care::compile(&w.module, OptLevel::O1);
+        Campaign::prepare(&w, app, vec![])
+    }
+
+    fn cfg(injections: usize, scheduler: Scheduler) -> CampaignConfig {
+        CampaignConfig {
+            injections,
+            evaluate_care: true,
+            app_only: true,
+            keep_records: true,
+            scheduler,
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// Duplicate-point indexes must share one trellis snapshot — and the
+    /// shared-snapshot path must still reproduce the per-injection records
+    /// bit for bit (each index keeps its own RNG stream, so two injections
+    /// at the same point can still flip different bits).
+    #[test]
+    fn duplicate_points_share_a_snapshot_with_identical_records() {
+        let campaign = tiny_campaign();
+        let n = 60;
+        let base = cfg(n, Scheduler::PerInjection);
+        // Establish that this configuration actually samples duplicates.
+        let points: Vec<InjectionPoint> = (0..n)
+            .filter_map(|i| campaign.sample_point(&base, i).map(|(p, _)| p))
+            .collect();
+        let distinct: std::collections::HashSet<_> = points.iter().copied().collect();
+        assert!(
+            distinct.len() < points.len(),
+            "test premise: duplicates must occur ({} points, {} distinct)",
+            points.len(),
+            distinct.len()
+        );
+
+        let legacy = campaign.run(&base);
+        let trellis = campaign.run(&cfg(n, Scheduler::Trellis));
+        // One snapshot per *distinct fired* point, not per injection.
+        assert!(trellis.trellis_snapshots <= distinct.len());
+        assert!(
+            trellis.trellis_snapshots < points.len(),
+            "duplicates forked extra snapshots: {} snapshots for {} sampled points",
+            trellis.trellis_snapshots,
+            points.len()
+        );
+        assert_eq!(
+            legacy.records, trellis.records,
+            "shared-snapshot suffixes diverged from per-injection runs"
+        );
+    }
+
+    /// The trellis report charges the shared cursor pass once: strictly
+    /// fewer executed instructions than the per-injection engine, with the
+    /// identical suffix/CARE stages.
+    #[test]
+    fn trellis_executes_one_shared_prefix_pass() {
+        let campaign = tiny_campaign();
+        let legacy = campaign.run(&cfg(40, Scheduler::PerInjection));
+        let trellis = campaign.run(&cfg(40, Scheduler::Trellis));
+        assert_eq!(legacy.steps_suffix, trellis.steps_suffix);
+        assert_eq!(legacy.steps_care, trellis.steps_care);
+        assert!(
+            trellis.steps_prefix < legacy.steps_prefix,
+            "cursor pass ({}) must undercut per-injection prefixes ({})",
+            trellis.steps_prefix,
+            legacy.steps_prefix
+        );
+        assert_eq!(
+            trellis.simulated_steps,
+            trellis.steps_prefix + trellis.steps_suffix + trellis.steps_care
+        );
+        assert_eq!(legacy.trellis_snapshots, 0);
+        // The per-record *attributed* totals stay equal either way.
+        assert_eq!(
+            legacy.records.iter().map(|r| r.sim_steps).sum::<u64>(),
+            trellis.records.iter().map(|r| r.sim_steps).sum::<u64>()
+        );
+    }
+
+    /// Suffix forks budget fuel against *remaining* steps: every record's
+    /// prefix + suffix stays within the campaign hang bound, and a hang
+    /// classified by the trellis engine burned exactly the remaining budget
+    /// rather than a fresh full one.
+    #[test]
+    fn suffix_forks_respect_the_campaign_fuel_budget() {
+        // hpccg(3,2) at the default seed is known to hang on some of the
+        // first 100 injections (see tests/golden.rs), so the equality leg
+        // below is actually exercised.
+        let w = workloads::hpccg::build(3, 2);
+        let app = care::compile(&w.module, OptLevel::O1);
+        let campaign = Campaign::prepare(&w, app, vec![]);
+        let config = cfg(100, Scheduler::Trellis);
+        let budget = campaign.fuel_budget(&config);
+        let r = campaign.run(&config);
+        assert!(r.hang > 0, "test premise: need at least one hang");
+        for rec in &r.records {
+            assert!(
+                rec.split.prefix + rec.split.suffix <= budget,
+                "record at {:?} overshot the hang bound: {} + {} > {}",
+                rec.point,
+                rec.split.prefix,
+                rec.split.suffix,
+                budget
+            );
+            if rec.outcome == Outcome::Hang {
+                assert_eq!(rec.split.prefix + rec.split.suffix, budget);
+            }
+        }
     }
 }

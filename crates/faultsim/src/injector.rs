@@ -28,7 +28,7 @@ pub enum FaultModel {
 }
 
 /// A chosen injection point: the `(I, n)` pair of §5.1.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct InjectionPoint {
     /// Module of the target instruction.
     pub module: ModuleId,

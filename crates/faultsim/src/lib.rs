@@ -18,7 +18,8 @@ pub mod campaign;
 pub mod injector;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignReport, CareResult, InjectionRecord, Outcome, Signal,
+    Campaign, CampaignConfig, CampaignReport, CareResult, InjectionRecord, Outcome, Scheduler,
+    Signal, StepSplit,
 };
 pub use injector::{FaultModel, InjectedInto, InjectionPoint};
 

@@ -12,6 +12,7 @@ use crate::image::{
     HEAP_BASE, LIB_BASE, STACK_SIZE, STACK_TOP,
 };
 use crate::isa::{MInst, MemOp, Reg, Src, FP, NUM_REGS, SP};
+use std::collections::HashMap;
 use std::sync::Arc;
 use tinyir::interp::{eval_bin, eval_cast, eval_fcmp, eval_icmp, float_of_bits, sext_bits};
 use tinyir::mem::{MemFault, Memory, PagedMemory, PAGE_SIZE};
@@ -91,6 +92,98 @@ pub struct Frame {
 /// the Pin-style profile the campaign's `(I, n)` sampling is built on.
 pub type Profile = Vec<Vec<Vec<u64>>>;
 
+/// A multi-breakpoint set: for each static instruction, the pending
+/// execution ordinals at which the machine should stop (right *after* that
+/// execution, exactly like [`Process::break_at`]).
+///
+/// This is the trellis cursor's mechanism: a campaign registers every
+/// sampled `(module, func, inst, nth)` injection point up front and then
+/// advances one process through the program, snapshot-forking at each hit.
+/// Execution ordinals are counted from the moment the set is armed, so a
+/// process that carries a `BreakSet` from `start()` counts exactly like a
+/// sequence of independent `break_at` runs over the same deterministic
+/// program.
+#[derive(Clone, Debug, Default)]
+pub struct BreakSet {
+    /// Pending ordinals per instruction, keyed `(module, func, inst)`.
+    pending: HashMap<(ModuleId, FuncId, usize), PendingNths>,
+    /// Total pending ordinals across all instructions.
+    remaining: usize,
+    /// The point whose ordinal fired on the last `BreakHit`, consumed by
+    /// [`BreakSet::take_fired`].
+    fired: Option<(ModuleId, FuncId, usize, u64)>,
+}
+
+#[derive(Clone, Debug)]
+struct PendingNths {
+    /// Executions of this instruction observed since the set was armed.
+    seen: u64,
+    /// Pending stop ordinals, sorted descending (`last()` fires next).
+    nths: Vec<u64>,
+}
+
+impl BreakSet {
+    /// An empty set (never fires).
+    pub fn new() -> BreakSet {
+        BreakSet::default()
+    }
+
+    /// Register a stop after the `nth` execution of `(module, func, inst)`.
+    /// Duplicate registrations are deduplicated: returns `false` (and fires
+    /// only once) when this exact point is already pending.
+    pub fn add(&mut self, module: ModuleId, func: FuncId, inst: usize, nth: u64) -> bool {
+        let p = self
+            .pending
+            .entry((module, func, inst))
+            .or_insert(PendingNths { seen: 0, nths: Vec::new() });
+        match p.nths.binary_search_by(|x| nth.cmp(x)) {
+            Ok(_) => false,
+            Err(i) => {
+                p.nths.insert(i, nth);
+                self.remaining += 1;
+                true
+            }
+        }
+    }
+
+    /// True when every registered ordinal has fired.
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Ordinals still pending.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// The point that caused the last `BreakHit` (cleared on read).
+    pub fn take_fired(&mut self) -> Option<(ModuleId, FuncId, usize, u64)> {
+        self.fired.take()
+    }
+
+    /// Note one execution of `(module, func, inst)`; true when a pending
+    /// ordinal fires. Entries with no ordinals left are dropped, so fully
+    /// serviced instructions stop paying the map probe's bookkeeping.
+    fn note(&mut self, module: ModuleId, func: FuncId, inst: usize) -> bool {
+        let Some(p) = self.pending.get_mut(&(module, func, inst)) else {
+            return false;
+        };
+        p.seen += 1;
+        if p.nths.last() == Some(&p.seen) {
+            p.nths.pop();
+            let nth = p.seen;
+            if p.nths.is_empty() {
+                self.pending.remove(&(module, func, inst));
+            }
+            self.remaining -= 1;
+            self.fired = Some((module, func, inst, nth));
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// A simulated process: image + memory + frames.
 ///
 /// `Clone` is a *snapshot fork*: the image is `Arc`-shared, memory pages are
@@ -119,6 +212,9 @@ pub struct Process {
     /// Breakpoint: stop right *after* the `n`-th execution of the
     /// instruction at `(module, func, idx)`.
     pub break_at: Option<(ModuleId, FuncId, usize, u64)>,
+    /// Multi-breakpoint set (the trellis cursor): stop after each pending
+    /// execution ordinal; [`BreakSet::take_fired`] identifies which one hit.
+    pub multi_break: Option<BreakSet>,
     /// Number of traps delivered so far (recovery attempts observe this).
     pub trap_count: u64,
 }
@@ -166,6 +262,7 @@ impl Process {
             steps: 0,
             profile: None,
             break_at: None,
+            multi_break: None,
             trap_count: 0,
         }
     }
@@ -324,7 +421,7 @@ impl Process {
     /// bit-identical `steps`/`fuel` accounting and trap states (the
     /// fast-path precision tests in `tests.rs` hold them side by side).
     pub fn run(&mut self) -> RunExit {
-        if self.profile.is_some() || self.break_at.is_some() {
+        if self.profile.is_some() || self.break_at.is_some() || self.multi_break.is_some() {
             self.run_loop::<true>()
         } else {
             self.run_loop::<false>()
@@ -410,8 +507,8 @@ impl Process {
                 p[mid.0 as usize][fid.0 as usize][idx] += 1;
             }
         }
-        let break_hit = HOOKS
-            && match &mut self.break_at {
+        let break_hit = if HOOKS {
+            let single = match &mut self.break_at {
                 Some((bm, bf, bi, n)) if *bm == mid && *bf == fid && *bi == idx => {
                     if *n <= 1 {
                         self.break_at = None;
@@ -423,6 +520,17 @@ impl Process {
                 }
                 _ => false,
             };
+            // Non-short-circuiting: the pending-occurrence counters must
+            // observe *every* execution even on a `break_at` hit, so the
+            // two mechanisms stay consistent if armed together.
+            let multi = match &mut self.multi_break {
+                Some(bs) => bs.note(mid, fid, idx),
+                None => false,
+            };
+            single | multi
+        } else {
+            false
+        };
 
         let inst = &mf.instrs[idx];
         let trap = |k: TrapKind| StepOut::Trap(Trap { kind: k, pc: pc() });

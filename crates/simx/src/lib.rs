@@ -23,7 +23,7 @@ pub mod isa;
 
 pub use codegen::compile_module;
 pub use disasm::{decode, disassemble_function, disassemble_module, format_inst, Decoded};
-pub use cpu::{DestRef, Frame, Process, Profile, RunExit, Trap, TrapKind};
+pub use cpu::{BreakSet, DestRef, Frame, Process, Profile, RunExit, Trap, TrapKind};
 pub use debug::{DebugData, DieRequest, LocEntry, VarDie, VarPlace};
 pub use image::{LoadedModule, MachineFunction, MachineModule, ModuleId, ProcessImage};
 pub use isa::{MInst, MemOp, Reg, Src, FP, SP};

@@ -679,3 +679,154 @@ fn fast_loop_resumes_after_breakpoint_with_identical_accounting() {
     assert_eq!(broken.steps, straight.steps);
     assert_eq!(broken.pc(), straight.pc());
 }
+
+// ---------------------------------------------------------------------------
+// BreakSet: the trellis cursor's multi-breakpoint mechanism. Its contract is
+// equivalence with a *sequence* of single `break_at` runs over the same
+// deterministic program: same stop states, same accounting, and snapshots
+// forked at a stop inherit the remaining fuel budget.
+// ---------------------------------------------------------------------------
+
+/// A loop-heavy module plus the hottest profiled instruction of `main`
+/// (one executed at least `min_count` times).
+fn hot_instruction(
+    args: &[u64],
+    min_count: u64,
+) -> (std::sync::Arc<MachineModule>, tinyir::FuncId, usize, u64) {
+    use tinyir::builder::ModuleBuilder;
+    let mut mb = ModuleBuilder::new("m", "m.c");
+    let g = mb.global_zeroed("out", Ty::I64, 64);
+    mb.define("main", vec![Ty::I64], Some(Ty::I64), |fb| {
+        let acc = fb.alloca(Ty::I64, 1);
+        fb.store(Value::i64(0), acc);
+        fb.for_loop(Value::i64(0), fb.arg(0), |fb, iv| {
+            let a = fb.load(acc, Ty::I64);
+            let s = fb.add(a, iv, Ty::I64);
+            fb.store(s, acc);
+            let slot = fb.srem(iv, Value::i64(64), Ty::I64);
+            fb.store_elem(s, fb.global(g), slot, Ty::I64);
+        });
+        let r = fb.load(acc, Ty::I64);
+        fb.ret(Some(r));
+    });
+    let m = mb.finish();
+    let mm = std::sync::Arc::new(compile_module(&m, true, &[]));
+    let mut p = Process::new(std::sync::Arc::clone(&mm), vec![]);
+    p.enable_profile();
+    p.start("main", args);
+    assert!(matches!(p.run(), RunExit::Done(_)));
+    let fid = mm.func_by_name("main").unwrap();
+    let counts = &p.profile.as_ref().unwrap()[0][fid.0 as usize];
+    let (idx, &count) = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= min_count)
+        .max_by_key(|&(_, &c)| c)
+        .expect("hot instruction");
+    (mm, fid, idx, count)
+}
+
+#[test]
+fn break_set_stops_match_sequential_single_breakpoints() {
+    let (mm, fid, idx, count) = hot_instruction(&[12], 8);
+    let nths = [2u64, 5, count.min(8)];
+
+    // Reference: three independent `break_at` legs (ordinals relative to
+    // the previous stop, since `break_at` counts from arming).
+    let mut reference = Vec::new();
+    let mut rp = Process::new(std::sync::Arc::clone(&mm), vec![]);
+    rp.start("main", &[12]);
+    rp.fuel = 100_000;
+    let mut prev = 0;
+    for &n in &nths {
+        rp.break_at = Some((ModuleId(0), fid, idx, n - prev));
+        assert_eq!(rp.run(), RunExit::BreakHit);
+        reference.push((rp.steps, rp.fuel, rp.pc(), rp.frame().regs, rp.frame().idx));
+        prev = n;
+    }
+
+    // Cursor: all three ordinals registered up front, out of order.
+    let mut bs = BreakSet::new();
+    for &n in &[nths[1], nths[0], nths[2]] {
+        assert!(bs.add(ModuleId(0), fid, idx, n));
+    }
+    assert!(!bs.add(ModuleId(0), fid, idx, nths[0]), "duplicates must dedup");
+    assert_eq!(bs.remaining(), 3);
+    let mut cp = Process::new(mm, vec![]);
+    cp.start("main", &[12]);
+    cp.fuel = 100_000;
+    cp.multi_break = Some(bs);
+    for (k, &n) in nths.iter().enumerate() {
+        assert_eq!(cp.run(), RunExit::BreakHit);
+        let fired = cp.multi_break.as_mut().unwrap().take_fired().expect("fired point");
+        assert_eq!(fired, (ModuleId(0), fid, idx, n));
+        let (steps, fuel, pc, regs, fidx) = reference[k];
+        assert_eq!(cp.steps, steps, "stop {k}: steps diverged");
+        assert_eq!(cp.fuel, fuel, "stop {k}: fuel diverged");
+        assert_eq!(cp.pc(), pc, "stop {k}: pc diverged");
+        assert_eq!(cp.frame().regs, regs, "stop {k}: registers diverged");
+        assert_eq!(cp.frame().idx, fidx, "stop {k}: frame index diverged");
+    }
+    assert!(cp.multi_break.as_ref().unwrap().is_empty());
+    assert!(matches!(cp.run(), RunExit::Done(_)));
+}
+
+#[test]
+fn break_set_snapshot_inherits_remaining_fuel_budget() {
+    // The hang bound is a property of the whole run: a suffix forked at a
+    // late stop must burn only the *remaining* budget, never a fresh full
+    // one (which would let late injection points overshoot the bound ~2x).
+    let (mm, fid, idx, count) = hot_instruction(&[40], 30);
+    let mut cursor = Process::new(mm, vec![]);
+    cursor.start("main", &[40]);
+    let budget = 10_000u64;
+    cursor.fuel = budget;
+    let mut bs = BreakSet::new();
+    bs.add(ModuleId(0), fid, idx, count - 2); // a late ordinal
+    cursor.multi_break = Some(bs);
+    assert_eq!(cursor.run(), RunExit::BreakHit);
+    assert!(cursor.steps > 0);
+
+    let mut snap = cursor.clone();
+    snap.multi_break = None;
+    assert_eq!(
+        snap.fuel,
+        budget - snap.steps,
+        "the fork must inherit the remaining budget"
+    );
+    // Starve the suffix: whatever it does, it cannot execute past the
+    // campaign-wide bound.
+    match snap.run() {
+        RunExit::Done(_) => assert!(snap.steps <= budget),
+        RunExit::Trapped(t) => {
+            assert_eq!(t.kind, TrapKind::OutOfFuel);
+            assert_eq!(snap.steps, budget, "suffix overshot the hang bound");
+        }
+        other => panic!("unexpected exit: {other:?}"),
+    }
+}
+
+#[test]
+fn break_set_across_distinct_instructions_fires_in_execution_order() {
+    let (mm, fid, idx, _) = hot_instruction(&[12], 8);
+    // Second target: the function's entry instruction (executes once).
+    let mut bs = BreakSet::new();
+    bs.add(ModuleId(0), fid, 0, 1);
+    bs.add(ModuleId(0), fid, idx, 3);
+    let mut p = Process::new(mm, vec![]);
+    p.start("main", &[12]);
+    p.multi_break = Some(bs);
+    assert_eq!(p.run(), RunExit::BreakHit);
+    assert_eq!(
+        p.multi_break.as_mut().unwrap().take_fired(),
+        Some((ModuleId(0), fid, 0, 1)),
+        "entry instruction fires first"
+    );
+    assert_eq!(p.run(), RunExit::BreakHit);
+    assert_eq!(
+        p.multi_break.as_mut().unwrap().take_fired(),
+        Some((ModuleId(0), fid, idx, 3))
+    );
+    assert!(p.multi_break.as_ref().unwrap().is_empty());
+    assert!(matches!(p.run(), RunExit::Done(_)));
+}

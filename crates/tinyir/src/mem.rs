@@ -101,13 +101,19 @@ fn tlb_idx(page: u64) -> usize {
     page as usize & (TLB_WAYS - 1)
 }
 
-/// Sparse paged memory backed by a page-table hash map.
+/// Sparse paged memory backed by a page-table hash map plus a zero-span
+/// interval list.
 ///
 /// Pages are reference-counted and copy-on-write: `clone()` shares every
-/// page with the original (O(mapped pages) pointer copies, no byte copies),
-/// and the first store to a shared page unshares just that page. Fresh
-/// mappings alias a single static zero page, so mapping a large region
-/// (e.g. the 32 MiB stack) allocates nothing until it is written.
+/// page with the original (O(*written* pages) pointer copies, no byte
+/// copies), and the first store to a shared page unshares just that page.
+/// Fresh mappings are recorded as **zero spans** — sorted, disjoint page
+/// ranges that read as zero through the one static zero page and only
+/// materialise a page-table entry on first store. Mapping a large region
+/// (e.g. the 32 MiB stack) therefore costs one interval insert, not one
+/// table entry per page — which is what keeps snapshot forks cheap: a
+/// campaign forks thousands of processes, and each fork clones the page
+/// table.
 ///
 /// Loads and stores are accelerated by a software TLB (see module docs);
 /// the TLB is an invisible cache — behaviour is bit-identical to the
@@ -115,6 +121,10 @@ fn tlb_idx(page: u64) -> usize {
 /// reference model over arbitrary op interleavings).
 pub struct PagedMemory {
     pages: HashMap<u64, Arc<Page>>,
+    /// Mapped-but-never-written page ranges (inclusive); sorted, disjoint,
+    /// non-adjacent. `pages` takes precedence: a materialised page may
+    /// still be covered by a span, and both are removed on unmap.
+    zero_spans: Vec<(u64, u64)>,
     /// Total number of loads+stores served (profiling aid).
     pub access_count: u64,
     read_tlb: [TlbEntry; TLB_WAYS],
@@ -139,6 +149,7 @@ impl Default for PagedMemory {
     fn default() -> PagedMemory {
         PagedMemory {
             pages: HashMap::new(),
+            zero_spans: Vec::new(),
             access_count: 0,
             read_tlb: [TLB_EMPTY; TLB_WAYS],
             write_tlb: [TLB_EMPTY; TLB_WAYS],
@@ -160,6 +171,7 @@ impl Clone for PagedMemory {
         self.write_epoch.fetch_add(1, Ordering::Relaxed);
         PagedMemory {
             pages: self.pages.clone(),
+            zero_spans: self.zero_spans.clone(),
             access_count: self.access_count,
             ..PagedMemory::default()
         }
@@ -172,9 +184,28 @@ impl PagedMemory {
         PagedMemory::default()
     }
 
-    /// Number of currently mapped pages.
+    /// True when page `p` lies inside a zero span (mapped, reads as zero,
+    /// no table entry yet).
+    #[inline]
+    fn span_contains(&self, p: u64) -> bool {
+        self.zero_spans
+            .binary_search_by(|&(a, b)| {
+                if b < p {
+                    std::cmp::Ordering::Less
+                } else if a > p {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Number of currently mapped pages (materialised + zero-span).
     pub fn mapped_pages(&self) -> usize {
-        self.pages.len()
+        let span_pages: u64 = self.zero_spans.iter().map(|&(a, b)| b - a + 1).sum();
+        let outside = self.pages.keys().filter(|&&p| !self.span_contains(p)).count();
+        span_pages as usize + outside
     }
 
     /// Number of mapped pages exclusively owned by this memory (i.e. already
@@ -183,7 +214,8 @@ impl PagedMemory {
         self.pages.values().filter(|p| Arc::strong_count(p) == 1).count()
     }
 
-    /// Resident size in bytes.
+    /// Resident size in bytes: materialised pages only (zero-span pages
+    /// have no backing allocation of their own).
     pub fn resident_bytes(&self) -> u64 {
         self.pages.len() as u64 * PAGE_SIZE
     }
@@ -198,7 +230,16 @@ impl PagedMemory {
     /// now exclusively owned, the read entry because unsharing may have
     /// *replaced* the backing allocation a read entry points at.
     fn store_page_slow(&mut self, p: u64, fault_addr: u64) -> Result<&mut Page, MemFault> {
-        let arc = self.pages.get_mut(&p).ok_or(MemFault::Unmapped(fault_addr))?;
+        if !self.pages.contains_key(&p) {
+            if !self.span_contains(p) {
+                return Err(MemFault::Unmapped(fault_addr));
+            }
+            // Materialise: first store to a zero-span page. The static
+            // zero page's refcount never drops to one, so `make_mut`
+            // below copies it — the normal CoW unshare.
+            self.pages.insert(p, Arc::clone(zero_page()));
+        }
+        let arc = self.pages.get_mut(&p).expect("just checked/inserted");
         let ptr: *mut Page = Arc::make_mut(arc);
         let i = tlb_idx(p);
         self.write_tlb[i] =
@@ -219,7 +260,11 @@ impl PagedMemory {
             let a = addr + done as u64;
             let (p, off) = Self::page_of(a);
             let n = (PAGE_SIZE as usize - off).min(buf.len() - done);
-            let page = self.pages.get(&p).ok_or(MemFault::Unmapped(a))?;
+            let page: &Page = match self.pages.get(&p) {
+                Some(arc) => arc,
+                None if self.span_contains(p) => zero_page(),
+                None => return Err(MemFault::Unmapped(a)),
+            };
             buf[done..done + n].copy_from_slice(&page[off..off + n]);
             done += n;
         }
@@ -264,10 +309,19 @@ impl Memory for PagedMemory {
             // allocation of a still-mapped page (see module docs).
             unsafe { &*e.ptr }
         } else {
-            let arc = self.pages.get(&p).ok_or(MemFault::Unmapped(addr))?;
-            let ptr = Arc::as_ptr(arc) as *mut Page;
+            let ptr = match self.pages.get(&p) {
+                Some(arc) => Arc::as_ptr(arc) as *mut Page,
+                // A zero-span page reads through the static zero page; the
+                // pointer stays valid forever, and a store materialising
+                // the page refreshes this entry (`store_page_slow`).
+                None if self.span_contains(p) => {
+                    Arc::as_ptr(zero_page()) as *mut Page
+                }
+                None => return Err(MemFault::Unmapped(addr)),
+            };
             self.read_tlb[i] = TlbEntry { page: p, epoch: self.read_epoch, ptr };
-            // SAFETY: `ptr` points into the `Arc` the page table holds.
+            // SAFETY: `ptr` points into an `Arc` the page table holds, or
+            // into the immortal static zero page.
             unsafe { &*ptr }
         };
         // Natural alignment guarantees the value does not straddle a page.
@@ -313,12 +367,24 @@ impl Memory for PagedMemory {
         }
         let first = addr / PAGE_SIZE;
         let last = (addr + len - 1) / PAGE_SIZE;
-        for p in first..=last {
-            // Already-mapped pages keep their allocation, so live TLB
-            // entries stay correct; fresh pages cannot have live entries
-            // (unmap bumped the epochs when they were last dropped).
-            self.pages.entry(p).or_insert_with(|| Arc::clone(zero_page()));
+        // One interval insert, however large the region. Already-mapped
+        // pages keep their allocation (`pages` takes precedence over the
+        // span on every access), so live TLB entries stay correct; fresh
+        // pages cannot have live entries (unmap bumped the epochs when
+        // they were last dropped). Overlapping or adjacent spans coalesce
+        // to keep the list sorted, disjoint and non-adjacent.
+        let mut merged = (first, last);
+        let mut out = Vec::with_capacity(self.zero_spans.len() + 1);
+        for &(a, b) in &self.zero_spans {
+            if b.saturating_add(1) >= merged.0 && a <= merged.1.saturating_add(1) {
+                merged = (merged.0.min(a), merged.1.max(b));
+            } else {
+                out.push((a, b));
+            }
         }
+        out.push(merged);
+        out.sort_unstable();
+        self.zero_spans = out;
     }
 
     fn unmap_region(&mut self, addr: u64, len: u64) {
@@ -327,16 +393,38 @@ impl Memory for PagedMemory {
         }
         let first = addr / PAGE_SIZE;
         let last = (addr + len - 1) / PAGE_SIZE;
-        for p in first..=last {
-            self.pages.remove(&p);
+        // Drop materialised pages in the range; walk whichever side is
+        // smaller so unmapping a huge never-written span stays cheap.
+        if ((last - first) as u128) < self.pages.len() as u128 {
+            for p in first..=last {
+                self.pages.remove(&p);
+            }
+        } else {
+            self.pages.retain(|&p, _| p < first || p > last);
         }
+        // Split any zero span straddling the range (stays sorted/disjoint).
+        let mut out = Vec::with_capacity(self.zero_spans.len() + 1);
+        for &(a, b) in &self.zero_spans {
+            if b < first || a > last {
+                out.push((a, b));
+                continue;
+            }
+            if a < first {
+                out.push((a, first - 1));
+            }
+            if b > last {
+                out.push((last + 1, b));
+            }
+        }
+        self.zero_spans = out;
         // Dropping a page may free its allocation: retire both TLBs.
         self.read_epoch += 1;
         self.write_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     fn is_mapped(&self, addr: u64) -> bool {
-        self.pages.contains_key(&(addr / PAGE_SIZE))
+        let p = addr / PAGE_SIZE;
+        self.pages.contains_key(&p) || self.span_contains(p)
     }
 }
 

@@ -1,36 +1,55 @@
-//! CI smoke test: a 30-injection CARE coverage campaign on HPCCG.
+//! CI smoke test: a 30-injection CARE coverage campaign on HPCCG, run under
+//! BOTH campaign schedulers.
 //!
 //! Small enough to finish in seconds on a cold runner, but end-to-end real:
-//! compile at O1, run Armor, fork 30 snapshot processes, inject single-bit
-//! flips, classify every outcome, and evaluate CARE recovery on the faults
-//! that trap. Exits nonzero (assert) if the pipeline stops covering faults —
-//! the one regression a unit suite can miss, because it needs the compiler,
-//! the interpreter fast path, the campaign engine and Safeguard all working
+//! compile at O1, run Armor, inject 30 single-bit flips, classify every
+//! outcome, and evaluate CARE recovery on the faults that trap. The campaign
+//! runs once under the per-injection engine (fork at the breakpoint, every
+//! worker replays its own prefix) and once under the snapshot-trellis
+//! scheduler (one shared instrumented cursor pass, CoW forks at the pending
+//! injection points), and the two must agree record for record — the
+//! equivalence the trellis optimisation promises. Exits nonzero (assert) if
+//! the pipeline stops covering faults or the schedulers diverge — the
+//! regressions a unit suite can miss, because they need the compiler, the
+//! interpreter fast path, the campaign engine and Safeguard all working
 //! against each other.
 //!
 //! ```sh
 //! cargo run --release --example smoke_campaign
 //! ```
 
-use faultsim::{Campaign, CampaignConfig, FaultModel};
+use faultsim::{Campaign, CampaignConfig, FaultModel, Scheduler};
 use opt::OptLevel;
 
 fn main() {
     let w = workloads::hpccg::default();
     let app = care::compile(&w.module, OptLevel::O1);
     let campaign = Campaign::prepare(&w, app, vec![]);
-    let r = campaign.run(&CampaignConfig {
+    let cfg = |scheduler: Scheduler| CampaignConfig {
         injections: 30,
         model: FaultModel::SingleBit,
         evaluate_care: true,
         app_only: true,
         seed: 0x5300CE,
+        keep_records: true,
+        scheduler,
         ..CampaignConfig::default()
-    });
+    };
+    let r = campaign.run(&cfg(Scheduler::Trellis));
+    let legacy = campaign.run(&cfg(Scheduler::PerInjection));
     println!(
         "smoke campaign: 30 injections on HPCCG -> {} benign, {} soft, {} sdc, {} hang; \
          CARE evaluated {}, covered {}",
         r.benign, r.soft_failure, r.sdc, r.hang, r.care_evaluated, r.care_covered
+    );
+    println!(
+        "trellis: {} snapshots off one cursor pass, {} prefix + {} suffix + {} CARE steps \
+         (legacy executed {} steps)",
+        r.trellis_snapshots,
+        r.steps_prefix,
+        r.steps_suffix,
+        r.steps_care,
+        legacy.simulated_steps,
     );
     assert_eq!(
         r.benign + r.soft_failure + r.sdc + r.hang,
@@ -45,5 +64,21 @@ fn main() {
         r.care_covered > 0,
         "CARE recovered zero trapped faults — the recovery pipeline regressed"
     );
-    println!("smoke campaign OK");
+    assert_eq!(
+        r.records, legacy.records,
+        "trellis and per-injection schedulers must produce identical records"
+    );
+    assert_eq!(
+        (legacy.benign, legacy.soft_failure, legacy.sdc, legacy.hang),
+        (r.benign, r.soft_failure, r.sdc, r.hang),
+        "aggregate outcomes diverged between schedulers"
+    );
+    assert!(
+        r.simulated_steps < legacy.simulated_steps,
+        "the shared cursor pass must execute fewer instructions than \
+         per-injection prefix replay ({} vs {})",
+        r.simulated_steps,
+        legacy.simulated_steps
+    );
+    println!("smoke campaign OK (both schedulers agree)");
 }

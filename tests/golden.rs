@@ -13,9 +13,11 @@
 //! refresh. Refresh the constants only for an *intentional* semantic change
 //! (new fault model, different sampling), and say so in the commit.
 
-use faultsim::{Campaign, CampaignConfig, FaultModel};
+use faultsim::{Campaign, CampaignConfig, FaultModel, Scheduler};
 use opt::OptLevel;
+use proptest::prelude::*;
 use safeguard::DeclineKind;
+use std::sync::OnceLock;
 
 #[test]
 fn snapshot_fork_engine_matches_golden_aggregates() {
@@ -54,4 +56,78 @@ fn snapshot_fork_engine_matches_golden_aggregates() {
     );
     assert_eq!(r.declines.len(), 1);
     assert_eq!(r.declines.get(&DeclineKind::SameAddress), Some(&3));
+}
+
+/// Run one campaign with records kept, under the given scheduler.
+fn run_records(
+    campaign: &Campaign,
+    injections: usize,
+    seed: u64,
+    scheduler: Scheduler,
+) -> faultsim::CampaignReport {
+    campaign.run(&CampaignConfig {
+        injections,
+        model: FaultModel::SingleBit,
+        seed,
+        evaluate_care: true,
+        app_only: true,
+        keep_records: true,
+        scheduler,
+        ..CampaignConfig::default()
+    })
+}
+
+/// The snapshot-trellis scheduler must be an observational no-op: for every
+/// workload, the per-injection records — injection point, landing site,
+/// outcome, manifestation latency, per-stage step split and the full CARE
+/// evaluation — are bit-identical to the per-injection engine's at the
+/// benchmark seed. Only the *wall-clock shape* may differ (one shared
+/// cursor pass instead of N prefix re-runs).
+#[test]
+fn trellis_records_match_legacy_on_all_workloads() {
+    let small: Vec<(&str, workloads::Workload)> = vec![
+        ("HPCCG", workloads::hpccg::build(3, 2)),
+        ("CoMD", workloads::comd::build(16, 2, 1)),
+        ("miniFE", workloads::minife::build(2, 2)),
+        ("miniMD", workloads::minimd::build(16, 1)),
+        ("GTC-P", workloads::gtcp::build(4, 2, 16, 1)),
+    ];
+    for (name, w) in small {
+        let app = care::compile(&w.module, OptLevel::O1);
+        let campaign = Campaign::prepare(&w, app, vec![]);
+        let legacy = run_records(&campaign, 40, 0xCA2E, Scheduler::PerInjection);
+        let trellis = run_records(&campaign, 40, 0xCA2E, Scheduler::Trellis);
+        assert_eq!(
+            legacy.records, trellis.records,
+            "{name}: trellis records diverged from the per-injection engine"
+        );
+        assert_eq!(legacy.total(), 40, "{name}: injections went unclassified");
+    }
+}
+
+fn tiny_campaign() -> &'static Campaign {
+    static TINY: OnceLock<Campaign> = OnceLock::new();
+    TINY.get_or_init(|| {
+        let w = workloads::hpccg::build(2, 1);
+        let app = care::compile(&w.module, OptLevel::O1);
+        Campaign::prepare(&w, app, vec![])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: if cfg!(debug_assertions) { 8 } else { 24 },
+        ..ProptestConfig::default()
+    })]
+
+    /// Seed-independence of the trellis/legacy equivalence: any seed's
+    /// record stream (sampling, outcomes, CARE results, step splits) is
+    /// identical under both schedulers.
+    #[test]
+    fn trellis_matches_legacy_at_random_seeds(seed in any::<u64>()) {
+        let campaign = tiny_campaign();
+        let legacy = run_records(campaign, 20, seed, Scheduler::PerInjection);
+        let trellis = run_records(campaign, 20, seed, Scheduler::Trellis);
+        prop_assert_eq!(&legacy.records, &trellis.records);
+    }
 }
