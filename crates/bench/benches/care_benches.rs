@@ -164,6 +164,21 @@ fn bench_campaign_throughput(c: &mut Criterion) {
                 b.iter(|| campaign.run(&cfg))
             });
         }
+        // The observability claim: a live telemetry recorder must cost ≤2%
+        // on end-to-end campaign throughput (compare against trellis above;
+        // the NoTelemetry path above is the 0%-regression baseline).
+        let cfg = CampaignConfig {
+            injections: 50,
+            evaluate_care: true,
+            app_only: true,
+            seed: 7,
+            scheduler: Scheduler::Trellis,
+            ..CampaignConfig::default()
+        };
+        let rec = telemetry::Recorder::new();
+        g.bench_function(format!("trellis_telemetry/{}", w.name), |b| {
+            b.iter(|| campaign.run_with_hooks(&cfg, &rec))
+        });
     }
     // Raw interpreter throughput: one full hook-free (fast-loop) run from a
     // snapshot-forked started process — the per-injection inner cost every

@@ -1,10 +1,11 @@
 //! `repro` — regenerate every table and figure of the CARE paper.
 //!
 //! ```text
-//! repro [--injections N] [--seed S] [--threads N] [experiments...]
+//! repro [--injections N] [--seed S] [--threads N] [--telemetry OUT.jsonl]
+//!       [experiments...]
 //!
 //! experiments: table2 table3 table4 table5 table8 table9 table10 table11
-//!              fig7 fig9 fig10 fig12 all            (default: all)
+//!              fig7 fig9 fig10 fig12 declines all   (default: all)
 //!              bench-json   (explicit only: writes BENCH_campaign.json
 //!                            with campaign-throughput measurements)
 //! ```
@@ -12,20 +13,28 @@
 //! The default injection count (300 per workload) keeps a full regeneration
 //! to minutes on a laptop; pass `--injections 10000` for paper-scale
 //! campaigns. All campaigns are deterministic in the seed.
+//!
+//! `--telemetry OUT.jsonl` (or the `CARE_TELEMETRY` env var) attaches a
+//! telemetry [`Recorder`] to every campaign and cluster simulation, prints
+//! a summary table to stderr and writes the full event stream as versioned
+//! JSONL. Telemetry never changes campaign results — only observes them.
 
 use bench::{
-    coverage_campaign, manifestation_campaign, pct, prepare, section2_workloads,
-    section5_workloads, PreparedWorkload, Table,
+    coverage_campaign_traced, decline_rows, manifestation_campaign_traced, pct, prepare,
+    section2_workloads, section5_workloads, PreparedWorkload, Table, BENCH_SCHEMA_VERSION,
 };
-use cluster::{simulate_fault_free, simulate_faulty, ClusterConfig, Resilience};
+use cluster::{simulate_fault_free, simulate_faulty, simulate_faulty_traced, ClusterConfig,
+    Resilience};
 use faultsim::{CampaignConfig, CampaignReport, FaultModel};
 use opt::OptLevel;
 use std::collections::HashMap;
+use telemetry::{NoTelemetry, Recorder};
 
 struct Args {
     injections: usize,
     seed: u64,
     threads: Option<usize>,
+    telemetry: Option<std::path::PathBuf>,
     experiments: Vec<String>,
 }
 
@@ -33,6 +42,7 @@ fn parse_args() -> Args {
     let mut injections = 300;
     let mut seed = 0xCA2E;
     let mut threads = None;
+    let mut telemetry = None;
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -54,21 +64,27 @@ fn parse_args() -> Args {
                         .expect("--threads N (N >= 1)"),
                 );
             }
+            "--telemetry" => {
+                telemetry = Some(it.next().expect("--telemetry OUT.jsonl").into());
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--injections N] [--seed S] [--threads N] [table2|table3|table4|table5|table8|table9|table10|table11|fig7|fig9|fig10|fig12|bench-json|all]..."
+                    "usage: repro [--injections N] [--seed S] [--threads N] [--telemetry OUT.jsonl] [table2|table3|table4|table5|table8|table9|table10|table11|fig7|fig9|fig10|fig12|declines|bench-json|all]..."
                 );
                 std::process::exit(0);
             }
             other => experiments.push(other.to_string()),
         }
     }
+    if telemetry.is_none() {
+        telemetry = std::env::var_os("CARE_TELEMETRY").map(Into::into);
+    }
     if experiments.is_empty() {
         experiments.push("all".into());
     }
     const KNOWN: &[&str] = &[
         "table2", "table3", "table4", "table5", "table8", "table9", "table10", "table11",
-        "fig7", "fig9", "fig10", "fig12", "bench-json", "all",
+        "fig7", "fig9", "fig10", "fig12", "declines", "bench-json", "all",
     ];
     for e in &experiments {
         if !KNOWN.contains(&e.as_str()) {
@@ -76,13 +92,48 @@ fn parse_args() -> Args {
             std::process::exit(2);
         }
     }
-    Args { injections, seed, threads, experiments }
+    Args { injections, seed, threads, telemetry, experiments }
+}
+
+/// §2-style campaign, routed through the global recorder when telemetry is
+/// on. The `None` arm monomorphizes with [`NoTelemetry`] — the same code the
+/// untraced binary always ran.
+fn run_manifest(
+    p: &PreparedWorkload,
+    inj: usize,
+    model: FaultModel,
+    seed: u64,
+    rec: Option<&Recorder>,
+) -> CampaignReport {
+    match rec {
+        Some(r) => manifestation_campaign_traced(p, inj, model, seed, r),
+        None => manifestation_campaign_traced(p, inj, model, seed, &NoTelemetry),
+    }
+}
+
+/// §5-style campaign, routed like [`run_manifest`].
+fn run_coverage(
+    p: &PreparedWorkload,
+    inj: usize,
+    model: FaultModel,
+    seed: u64,
+    rec: Option<&Recorder>,
+) -> CampaignReport {
+    match rec {
+        Some(r) => coverage_campaign_traced(p, inj, model, seed, r),
+        None => coverage_campaign_traced(p, inj, model, seed, &NoTelemetry),
+    }
 }
 
 /// `repro bench-json`: time end-to-end CARE coverage campaigns on the full
 /// five-workload app suite (HPCCG, CoMD, miniFE, miniMD, GTC-P) and write
 /// the measurements to `BENCH_campaign.json` in the current directory
 /// (hand-rolled JSON; the container has no serde).
+///
+/// Schema v2 ([`BENCH_SCHEMA_VERSION`]): each campaign runs under its own
+/// telemetry [`Recorder`], and the rows carry the drained measurements —
+/// decline histograms, software-TLB hit rates and the measured
+/// recovery-preparation fraction — next to the throughput numbers.
 fn bench_json(injections: usize, seed: u64) {
     use std::fmt::Write as _;
     use std::time::Instant;
@@ -90,11 +141,40 @@ fn bench_json(injections: usize, seed: u64) {
         "[repro] timing CARE coverage campaigns ({injections} injections/workload)..."
     );
     let mut entries = Vec::new();
+    // Suite-wide accumulators for the top-level "telemetry" section.
+    let (mut all_act, mut all_over98) = (0u64, 0u64);
+    let (mut all_prep_sum, mut all_prep_count) = (0u64, 0u64);
+    let (mut all_acc, mut all_miss) = (0u64, 0u64);
     for w in section2_workloads() {
         let p = prepare(&w, OptLevel::O1);
+        let rec = Recorder::new();
         let t0 = Instant::now();
-        let r = coverage_campaign(&p, injections, FaultModel::SingleBit, seed);
+        let r = coverage_campaign_traced(&p, injections, FaultModel::SingleBit, seed, &rec);
         let wall_s = t0.elapsed().as_secs_f64();
+        let tel = rec.drain();
+        let ctr = |n: &str| tel.counters.get(n).copied().unwrap_or(0);
+        let (loads, stores) = (ctr("tlb.loads"), ctr("tlb.stores"));
+        let misses = ctr("tlb.read_misses") + ctr("tlb.write_misses");
+        let accesses = loads + stores;
+        let hit_rate = if accesses == 0 {
+            1.0
+        } else {
+            (accesses - misses) as f64 / accesses as f64
+        };
+        let prep = tel.hists.get("recovery.prep_bp");
+        let prep_mean = prep.map_or(0.0, |h| h.mean() / 10_000.0);
+        let prep_min = prep.map_or(0.0, |h| h.min() as f64 / 10_000.0);
+        all_act += ctr("recovery.activations");
+        all_over98 += ctr("recovery.prep_over_98pct");
+        all_prep_sum += prep.map_or(0, |h| h.sum());
+        all_prep_count += prep.map_or(0, |h| h.count());
+        all_acc += accesses;
+        all_miss += misses;
+        let declines = decline_rows(&r)
+            .iter()
+            .map(|(k, n)| format!("\"{k}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         let mut e = String::new();
         write!(
             e,
@@ -105,7 +185,13 @@ fn bench_json(injections: usize, seed: u64) {
              \"simulated_instructions\": {},\n      \
              \"simulated_instructions_per_sec\": {:.0},\n      \
              \"sim_steps_prefix\": {},\n      \"sim_steps_suffix\": {},\n      \
-             \"sim_steps_care\": {},\n      \"trellis_snapshots\": {}\n    }}",
+             \"sim_steps_care\": {},\n      \"trellis_snapshots\": {},\n      \
+             \"declines\": {{{}}},\n      \
+             \"tlb\": {{\"loads\": {}, \"stores\": {}, \"read_misses\": {}, \
+             \"write_misses\": {}, \"hit_rate\": {:.6}}},\n      \
+             \"recovery\": {{\"activations\": {}, \"recovered\": {}, \
+             \"prep_fraction_mean\": {:.4}, \
+             \"prep_fraction_min\": {:.4}, \"prep_over_98pct\": {}}}\n    }}",
             p.name,
             injections,
             r.total(),
@@ -119,21 +205,53 @@ fn bench_json(injections: usize, seed: u64) {
             r.steps_suffix,
             r.steps_care,
             r.trellis_snapshots,
+            declines,
+            loads,
+            stores,
+            ctr("tlb.read_misses"),
+            ctr("tlb.write_misses"),
+            hit_rate,
+            ctr("recovery.activations"),
+            ctr("recovery.recovered"),
+            prep_mean,
+            prep_min,
+            ctr("recovery.prep_over_98pct"),
         )
         .unwrap();
         eprintln!(
-            "[repro]   {}: {:.2} injections/sec, {:.2e} simulated instrs/sec",
+            "[repro]   {}: {:.2} injections/sec, {:.2e} simulated instrs/sec, \
+             TLB hit rate {:.4}, prep fraction {:.4}",
             p.name,
             injections as f64 / wall_s,
             r.simulated_steps as f64 / wall_s,
+            hit_rate,
+            prep_mean,
         );
         entries.push(e);
     }
+    let suite_prep = if all_prep_count == 0 {
+        0.0
+    } else {
+        all_prep_sum as f64 / all_prep_count as f64 / 10_000.0
+    };
+    let suite_hit = if all_acc == 0 {
+        1.0
+    } else {
+        (all_acc - all_miss) as f64 / all_acc as f64
+    };
     let json = format!(
-        "{{\n  \"campaign\": \"coverage (evaluate_care, app_only)\",\n  \
+        "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \
+         \"campaign\": \"coverage (evaluate_care, app_only)\",\n  \
          \"scheduler\": \"trellis\",\n  \"seed\": {seed},\n  \
-         \"threads\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+         \"threads\": {},\n  \"telemetry\": {{\n    \
+         \"schema_version\": {},\n    \"recovery_activations\": {all_act},\n    \
+         \"recoveries\": {all_prep_count},\n    \
+         \"prep_fraction_mean\": {suite_prep:.4},\n    \
+         \"prep_over_98pct\": {all_over98},\n    \
+         \"tlb_hit_rate\": {suite_hit:.6}\n  }},\n  \
+         \"workloads\": [\n{}\n  ]\n}}\n",
         rayon::current_num_threads(),
+        telemetry::SCHEMA_VERSION,
         entries.join(",\n")
     );
     std::fs::write("BENCH_campaign.json", json).expect("write BENCH_campaign.json");
@@ -150,6 +268,11 @@ fn main() {
     let want = |name: &str| {
         args.experiments.iter().any(|e| e == name || e == "all")
     };
+
+    // One recorder spans every experiment of the invocation; campaigns and
+    // cluster simulations stream into it and `main` drains it at the end.
+    let recorder = args.telemetry.as_ref().map(|_| Recorder::new());
+    let rec = recorder.as_ref();
 
     // Explicit-only (not part of `all`): perf measurement artefact.
     if args.experiments.iter().any(|e| e == "bench-json") {
@@ -169,7 +292,7 @@ fn main() {
                     .iter()
                     .map(|w| {
                         let p = prepare(w, OptLevel::O0);
-                        let r = manifestation_campaign(&p, inj, FaultModel::SingleBit, seed);
+                        let r = run_manifest(&p, inj, FaultModel::SingleBit, seed, rec);
                         (p, r)
                     })
                     .collect(),
@@ -296,7 +419,7 @@ fn main() {
             for w in section5_workloads() {
                 for level in [OptLevel::O0, OptLevel::O1] {
                     let p = prepare(&w, level);
-                    let r = coverage_campaign(&p, inj, FaultModel::SingleBit, seed);
+                    let r = run_coverage(&p, inj, FaultModel::SingleBit, seed, rec);
                     all.push((w.name.to_string(), level.to_string(), r));
                 }
             }
@@ -350,6 +473,22 @@ fn main() {
         println!("{}", t.render());
     }
 
+    if want("declines") {
+        let mut t = Table::new(
+            "Decline reasons: why uncovered SIGSEGV faults were not recovered",
+            &["Workload", "Opt", "Decline kind", "Count"],
+        );
+        let mut total = 0usize;
+        for (name, level, r) in cov_reports(args.injections, args.seed) {
+            for (kind, n) in decline_rows(&r) {
+                t.row(vec![name.clone(), level.clone(), kind.to_string(), n.to_string()]);
+                total += n;
+            }
+        }
+        t.row(vec!["total".into(), "".into(), "".into(), total.to_string()]);
+        println!("{}", t.render());
+    }
+
     if want("fig10") {
         eprintln!("[repro] running rank-0 recovery + 512-rank BSP simulation...");
         let w = workloads::gtcp::default();
@@ -357,11 +496,11 @@ fn main() {
             .expect("a CARE-recoverable fault on rank 0");
         let cfg = ClusterConfig::default();
         let base = simulate_fault_free(&cfg);
-        let care_run = simulate_faulty(
-            &cfg,
-            cfg.timesteps / 2,
-            &Resilience::Care { events: vec![(cfg.timesteps / 2, r0.recovery_ms)] },
-        );
+        let care_res = Resilience::Care { events: vec![(cfg.timesteps / 2, r0.recovery_ms)] };
+        let care_run = match rec {
+            Some(h) => simulate_faulty_traced(&cfg, cfg.timesteps / 2, &care_res, h),
+            None => simulate_faulty(&cfg, cfg.timesteps / 2, &care_res),
+        };
         let mut t = Table::new(
             "Figure 10: 512-rank x 6-thread GTC-P job, fault on rank 0",
             &["Scenario", "Makespan (s)", "Overhead (s)", "Restart (s)"],
@@ -417,13 +556,17 @@ fn main() {
             drv_app.clone(),
             vec![lib_app.clone()],
         );
-        let r = campaign.run(&CampaignConfig {
+        let blas_cfg = CampaignConfig {
             injections: args.injections,
             evaluate_care: true,
             app_only: false, // faults may land in the library too
             seed: args.seed,
             ..CampaignConfig::default()
-        });
+        };
+        let r = match rec {
+            Some(h) => campaign.run_with_hooks(&blas_cfg, h),
+            None => campaign.run(&blas_cfg),
+        };
         let mut t = Table::new(
             "Table 9: statistics and performance for sblat1/BLAS",
             &["", "# Kernels", "Normal compile (s)", "Armor overhead (s)", "Coverage", "Recovery (ms)"],
@@ -457,7 +600,7 @@ fn main() {
                     .iter()
                     .map(|w| {
                         let p = prepare(w, OptLevel::O0);
-                        let r = manifestation_campaign(&p, inj, FaultModel::DoubleBit, seed);
+                        let r = run_manifest(&p, inj, FaultModel::DoubleBit, seed, rec);
                         (p.name.to_string(), r)
                     })
                     .collect(),
@@ -511,7 +654,7 @@ fn main() {
         for w in section5_workloads() {
             for level in [OptLevel::O0, OptLevel::O1] {
                 let p = prepare(&w, level);
-                let r = coverage_campaign(&p, args.injections, FaultModel::DoubleBit, args.seed);
+                let r = run_coverage(&p, args.injections, FaultModel::DoubleBit, args.seed, rec);
                 t.row(vec![
                     w.name.to_string(),
                     level.to_string(),
@@ -531,5 +674,19 @@ fn main() {
             pct(sum / n.max(1) as f64),
         ]);
         println!("{}", t.render());
+    }
+
+    if let (Some(path), Some(r)) = (&args.telemetry, recorder.as_ref()) {
+        let report = r.drain();
+        let jsonl = report.to_jsonl();
+        // The writer and validator ship together; a failure here is a bug.
+        telemetry::validate_jsonl(&jsonl).expect("telemetry JSONL failed self-validation");
+        std::fs::write(path, &jsonl).expect("write telemetry JSONL");
+        eprintln!("{}", report.summary_table());
+        eprintln!(
+            "[repro] wrote {} telemetry lines to {}",
+            jsonl.lines().count(),
+            path.display()
+        );
     }
 }

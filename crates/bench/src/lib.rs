@@ -9,7 +9,17 @@
 use care::CompiledApp;
 use faultsim::{Campaign, CampaignConfig, CampaignReport, FaultModel};
 use opt::OptLevel;
+use telemetry::{Hooks, NoTelemetry};
 use workloads::Workload;
+
+/// Schema version of `BENCH_campaign.json` (bumped whenever its shape
+/// changes; `tests/golden.rs` pins the committed artefact to this value).
+///
+/// * v1 — original throughput-only rows.
+/// * v2 — adds `schema_version`, per-workload decline histograms, TLB hit
+///   rates and the measured recovery-preparation fraction (all sourced from
+///   the telemetry subsystem).
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// Rows of a formatted text table.
 pub struct Table {
@@ -93,14 +103,29 @@ pub fn manifestation_campaign(
     model: FaultModel,
     seed: u64,
 ) -> CampaignReport {
-    prepared.campaign.run(&CampaignConfig {
-        injections,
-        model,
-        seed,
-        evaluate_care: false,
-        app_only: false,
-        ..CampaignConfig::default()
-    })
+    manifestation_campaign_traced(prepared, injections, model, seed, &NoTelemetry)
+}
+
+/// [`manifestation_campaign`] with a telemetry hook sink. With
+/// [`NoTelemetry`] this monomorphizes to exactly the plain campaign.
+pub fn manifestation_campaign_traced<H: Hooks>(
+    prepared: &PreparedWorkload,
+    injections: usize,
+    model: FaultModel,
+    seed: u64,
+    hooks: &H,
+) -> CampaignReport {
+    prepared.campaign.run_with_hooks(
+        &CampaignConfig {
+            injections,
+            model,
+            seed,
+            evaluate_care: false,
+            app_only: false,
+            ..CampaignConfig::default()
+        },
+        hooks,
+    )
 }
 
 /// The §5-style campaign (application code only, CARE evaluated on every
@@ -111,14 +136,45 @@ pub fn coverage_campaign(
     model: FaultModel,
     seed: u64,
 ) -> CampaignReport {
-    prepared.campaign.run(&CampaignConfig {
-        injections,
-        model,
-        seed,
-        evaluate_care: true,
-        app_only: true,
-        ..CampaignConfig::default()
-    })
+    coverage_campaign_traced(prepared, injections, model, seed, &NoTelemetry)
+}
+
+/// [`coverage_campaign`] with a telemetry hook sink.
+pub fn coverage_campaign_traced<H: Hooks>(
+    prepared: &PreparedWorkload,
+    injections: usize,
+    model: FaultModel,
+    seed: u64,
+    hooks: &H,
+) -> CampaignReport {
+    prepared.campaign.run_with_hooks(
+        &CampaignConfig {
+            injections,
+            model,
+            seed,
+            evaluate_care: true,
+            app_only: true,
+            ..CampaignConfig::default()
+        },
+        hooks,
+    )
+}
+
+/// Decline-reason histogram of a campaign as deterministically-ordered
+/// `(kind, count)` rows (declaration order of [`safeguard::DeclineKind`]),
+/// skipping zero-count kinds. Shared by the repro declines table and the
+/// `BENCH_campaign.json` v2 emitter.
+pub fn decline_rows(report: &CampaignReport) -> Vec<(&'static str, usize)> {
+    safeguard::DeclineKind::ALL
+        .iter()
+        .filter_map(|k| {
+            report
+                .declines
+                .get(k)
+                .filter(|&&n| n > 0)
+                .map(|&n| (k.short_name(), n))
+        })
+        .collect()
 }
 
 /// Percentage formatting helper.

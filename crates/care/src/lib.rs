@@ -41,13 +41,20 @@ pub use pipeline::{
     BuildStats, CompiledApp, MemoryOverhead,
 };
 
+// The observability layer rides along with the facade so downstream users
+// can attach a recorder to the `*_with_hooks` entry points without naming
+// the crate themselves.
+pub use telemetry;
+
 /// Convenient re-exports for downstream users.
 pub mod prelude {
     pub use crate::pipeline::{compile, compile_baseline, protected_process, CompiledApp};
     pub use armor::{ArmorOutput, ArmorStats, RecoveryTable};
     pub use opt::OptLevel;
     pub use safeguard::{
-        run_protected, DeclineReason, ProtectedExit, RecoveryOutcome, Safeguard,
+        run_protected, run_protected_with_hooks, DeclineReason, ProtectedExit, RecoveryOutcome,
+        Safeguard,
     };
     pub use simx::{ModuleId, Process, RunExit, Trap, TrapKind};
+    pub use telemetry::{Hooks, NoTelemetry, Recorder};
 }

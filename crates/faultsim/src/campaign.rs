@@ -23,10 +23,13 @@ use care::{build_process, CompiledApp};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use safeguard::{run_protected, DeclineKind, ProtectedExit, RecoveryIndex, Safeguard};
+use safeguard::{
+    run_protected_with_hooks, DeclineKind, ProtectedExit, RecoveryIndex, Safeguard,
+};
 use simx::{BreakSet, ModuleId, Process, Profile, RunExit, TrapKind};
 use std::collections::HashMap;
 use std::sync::Arc;
+use telemetry::{timed, Event, Hooks, NoTelemetry};
 use workloads::Workload;
 
 /// Hardware-trap symptom classes of Table 3.
@@ -53,6 +56,21 @@ pub enum Outcome {
     Sdc,
     /// No progress within the instruction budget.
     Hang,
+}
+
+impl Outcome {
+    /// Static label for event streams (`job` events carry this).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Outcome::Benign => "benign",
+            Outcome::Sdc => "sdc",
+            Outcome::Hang => "hang",
+            Outcome::SoftFailure(Signal::Segv) => "segv",
+            Outcome::SoftFailure(Signal::Bus) => "bus",
+            Outcome::SoftFailure(Signal::Abort) => "abort",
+            Outcome::SoftFailure(Signal::Other) => "signal_other",
+        }
+    }
 }
 
 /// CARE's verdict on one SIGSEGV-producing injection (Figure 7 / 9 data).
@@ -281,13 +299,25 @@ impl Campaign {
     /// campaign budget (a fork inherits it; a fresh full budget would let
     /// late injection points overshoot the hang bound by nearly 2x) and the
     /// RNG must be in the post-[`Campaign::sample_point`] state.
-    fn run_suffix(
+    ///
+    /// With hooks enabled this is also the per-*job* instrumentation site
+    /// (both schedulers funnel through it): a wall-clock span per job
+    /// (`job.wall_ns`, accumulated into the `worker.busy_ns` counter —
+    /// whose per-shard subtotals are the per-worker utilization view),
+    /// simulated-step spans for the suffix and CARE stages, TLB counter
+    /// deltas of the processes this job ran, and one `job` event whose
+    /// `t_ns` stamp traces the queue drain. Hooks never influence the
+    /// record: a telemetry-enabled campaign is bit-identical.
+    fn run_suffix<H: Hooks>(
         &self,
         cfg: &CampaignConfig,
         point: InjectionPoint,
         rng: &SmallRng,
         mut p: Process,
+        hooks: &H,
     ) -> Option<InjectionRecord> {
+        let t0 = H::ENABLED.then(std::time::Instant::now);
+        let base_stats = p.mem.stats;
         let prefix_steps = p.steps;
         // Snapshot-fork the paused process *before* corrupting it: the
         // protected CARE evaluation resumes from this fork instead of
@@ -296,6 +326,9 @@ impl Campaign {
         let mut flip_rng = rng.clone();
         let target = inject(&mut p, point, cfg.model, &mut flip_rng);
         if target == InjectedInto::Skipped {
+            if H::ENABLED {
+                hooks.add("campaign.skipped", 1);
+            }
             return None;
         }
         let (outcome, latency) = match p.run() {
@@ -316,6 +349,7 @@ impl Campaign {
             RunExit::BreakHit => unreachable!("breakpoint already consumed"),
         };
         let suffix_steps = p.steps - prefix_steps;
+        let mut tlb = p.mem.stats.since(&base_stats);
 
         // --- protected run for SIGSEGV injections (§5 methodology):
         // resume the pre-injection fork, repeat the same flip, and let
@@ -328,7 +362,12 @@ impl Campaign {
                 let mut sg = Safeguard::with_index(Arc::clone(&self.recovery));
                 sg.patch_base_first = cfg.patch_base_first;
                 sg.skip_equality_guard = cfg.skip_equality_guard;
-                let care = match run_protected(&mut p, &mut sg, cfg.max_recoveries) {
+                let care = match run_protected_with_hooks(
+                    &mut p,
+                    &mut sg,
+                    cfg.max_recoveries,
+                    hooks,
+                ) {
                     ProtectedExit::Completed { recoveries, recovery_ms, .. } => {
                         let clean = self.outputs_clean(&p);
                         CareResult {
@@ -352,11 +391,40 @@ impl Campaign {
                     },
                 };
                 care_steps = p.steps - prefix_steps;
+                if H::ENABLED {
+                    // The fork's counters start from the paused clone
+                    // (which inherited `base_stats`'s values at the fork).
+                    tlb.merge(&p.mem.stats.since(&base_stats));
+                }
                 care
             })
         } else {
             None
         };
+
+        if H::ENABLED {
+            let wall_ns = t0.expect("enabled").elapsed().as_nanos() as u64;
+            hooks.add("worker.busy_ns", wall_ns);
+            hooks.record("job.wall_ns", wall_ns);
+            hooks.record("job.suffix_steps", suffix_steps);
+            if care.is_some() {
+                hooks.record("job.care_steps", care_steps);
+            }
+            hooks.add("tlb.loads", tlb.loads);
+            hooks.add("tlb.stores", tlb.stores);
+            hooks.add("tlb.read_misses", tlb.read_tlb_misses);
+            hooks.add("tlb.write_misses", tlb.write_tlb_misses);
+            hooks.emit(|| {
+                Event::new("job")
+                    .field("outcome", outcome.name())
+                    .field("func", point.func.0 as u64)
+                    .field("inst", point.inst)
+                    .field("nth", point.nth)
+                    .field("suffix_steps", suffix_steps)
+                    .field("care_steps", care_steps)
+                    .field("wall_ns", wall_ns)
+            });
+        }
 
         let split = StepSplit { prefix: prefix_steps, suffix: suffix_steps, care: care_steps };
         Some(InjectionRecord {
@@ -373,6 +441,15 @@ impl Campaign {
     /// Run one injection end-to-end, re-simulating its prefix
     /// (deterministic in `(cfg.seed, index)`).
     pub fn run_one(&self, cfg: &CampaignConfig, index: usize) -> Option<InjectionRecord> {
+        self.run_one_with_hooks(cfg, index, &NoTelemetry)
+    }
+
+    fn run_one_with_hooks<H: Hooks>(
+        &self,
+        cfg: &CampaignConfig,
+        index: usize,
+        hooks: &H,
+    ) -> Option<InjectionRecord> {
         let (point, rng) = self.sample_point(cfg, index)?;
         // --- unprotected run: raw manifestation (§2 methodology) ---------
         let mut p = self.template.clone();
@@ -384,15 +461,15 @@ impl Campaign {
             // unreachable for deterministic programs; be safe anyway.
             _ => return None,
         }
-        self.run_suffix(cfg, point, &rng, p)
+        self.run_suffix(cfg, point, &rng, p, hooks)
     }
 
     /// The per-injection scheduler: rayon-parallel `run_one` calls, each
     /// re-simulating its own prefix.
-    fn run_per_injection(&self, cfg: &CampaignConfig) -> CampaignReport {
+    fn run_per_injection<H: Hooks>(&self, cfg: &CampaignConfig, hooks: &H) -> CampaignReport {
         let records: Vec<InjectionRecord> = (0..cfg.injections)
             .into_par_iter()
-            .filter_map(|i| self.run_one(cfg, i))
+            .filter_map(|i| self.run_one_with_hooks(cfg, i, hooks))
             .collect();
         CampaignReport::from_records(records)
     }
@@ -400,12 +477,14 @@ impl Campaign {
     /// The snapshot-trellis scheduler: sample all points up front, advance
     /// one instrumented cursor through the program, CoW-fork a snapshot at
     /// each distinct firing point, then run only the suffixes in parallel.
-    fn run_trellis(&self, cfg: &CampaignConfig) -> CampaignReport {
+    fn run_trellis<H: Hooks>(&self, cfg: &CampaignConfig, hooks: &H) -> CampaignReport {
         // Phase 1 — sampling. Same per-index RNG stream as `run_one`, so
         // every downstream bit-flip draw is identical.
-        let samples: Vec<(InjectionPoint, SmallRng)> = (0..cfg.injections)
-            .filter_map(|i| self.sample_point(cfg, i))
-            .collect();
+        let samples: Vec<(InjectionPoint, SmallRng)> = timed(hooks, "trellis.sample_ns", || {
+            (0..cfg.injections)
+                .filter_map(|i| self.sample_point(cfg, i))
+                .collect()
+        });
 
         // Phase 2 — register each *distinct* point once. Injection indexes
         // that sampled the same `(I, n)` share one trellis snapshot.
@@ -422,32 +501,40 @@ impl Campaign {
         // past the final injection point is never re-simulated).
         let mut snapshots: Vec<Process> = Vec::new();
         let mut snapshot_of: HashMap<InjectionPoint, usize> = HashMap::new();
-        let mut cursor = self.template.clone();
-        cursor.fuel = self.fuel_budget(cfg);
-        cursor.multi_break = Some(breaks);
-        while !cursor.multi_break.as_ref().expect("trellis cursor").is_empty() {
-            match cursor.run() {
-                RunExit::BreakHit => {
-                    let (module, func, inst, nth) = cursor
-                        .multi_break
-                        .as_mut()
-                        .expect("trellis cursor")
-                        .take_fired()
-                        .expect("BreakHit reports its firing point");
-                    let mut snap = cursor.clone();
-                    snap.multi_break = None;
-                    snapshot_of
-                        .insert(InjectionPoint { module, func, inst, nth }, snapshots.len());
-                    snapshots.push(snap);
+        let cursor_steps = timed(hooks, "trellis.cursor_ns", || {
+            let mut cursor = self.template.clone();
+            cursor.fuel = self.fuel_budget(cfg);
+            cursor.multi_break = Some(breaks);
+            while !cursor.multi_break.as_ref().expect("trellis cursor").is_empty() {
+                match cursor.run() {
+                    RunExit::BreakHit => {
+                        let (module, func, inst, nth) = cursor
+                            .multi_break
+                            .as_mut()
+                            .expect("trellis cursor")
+                            .take_fired()
+                            .expect("BreakHit reports its firing point");
+                        let mut snap = cursor.clone();
+                        snap.multi_break = None;
+                        snapshot_of
+                            .insert(InjectionPoint { module, func, inst, nth }, snapshots.len());
+                        snapshots.push(snap);
+                        if H::ENABLED {
+                            hooks.emit(|| {
+                                Event::new("trellis.fork")
+                                    .field("snapshot", snapshots.len() - 1)
+                                    .field("prefix_steps", cursor.steps)
+                            });
+                        }
+                    }
+                    // Completion (or a trap) with points still pending: those
+                    // indexes yield no record, exactly like a `run_one` whose
+                    // breakpoint never fired.
+                    _ => break,
                 }
-                // Completion (or a trap) with points still pending: those
-                // indexes yield no record, exactly like a `run_one` whose
-                // breakpoint never fired.
-                _ => break,
             }
-        }
-        let cursor_steps = cursor.steps;
-        drop(cursor);
+            cursor.steps
+        });
 
         // Phase 4 — suffix scheduling: rayon-parallel over injection
         // indexes (order-preserving, so records match the per-injection
@@ -478,10 +565,11 @@ impl Campaign {
                 (point, rng, p)
             })
             .collect();
-        let records: Vec<InjectionRecord> = jobs
-            .into_par_iter()
-            .filter_map(|(point, rng, p)| self.run_suffix(cfg, point, &rng, p?))
-            .collect();
+        let records: Vec<InjectionRecord> = timed(hooks, "trellis.suffixes_ns", || {
+            jobs.into_par_iter()
+                .filter_map(|(point, rng, p)| self.run_suffix(cfg, point, &rng, p?, hooks))
+                .collect()
+        });
 
         let mut report = CampaignReport::from_records(records);
         // The attributed per-record prefixes were simulated once, by the
@@ -489,19 +577,88 @@ impl Campaign {
         report.trellis_snapshots = trellis_snapshots;
         report.steps_prefix = cursor_steps;
         report.simulated_steps = cursor_steps + report.steps_suffix + report.steps_care;
+        if H::ENABLED {
+            hooks.add("trellis.snapshots", trellis_snapshots as u64);
+            hooks.add("trellis.cursor_steps", cursor_steps);
+        }
         report
     }
 
     /// Run the full campaign under [`CampaignConfig::scheduler`].
     pub fn run(&self, cfg: &CampaignConfig) -> CampaignReport {
+        self.run_with_hooks(cfg, &NoTelemetry)
+    }
+
+    /// [`run`](Self::run) with telemetry hooks. The records and aggregates
+    /// are bit-identical to the hook-free run (hooks only observe); what the
+    /// hooks gain is the per-phase trellis timeline, per-job spans and
+    /// queue-drain events, Safeguard's recovery-phase distributions, the
+    /// campaign's TLB hit counters, instruction-mix counters derived from
+    /// the golden profile, and the campaign-level step-split counters.
+    pub fn run_with_hooks<H: Hooks>(&self, cfg: &CampaignConfig, hooks: &H) -> CampaignReport {
         let mut report = match cfg.scheduler {
-            Scheduler::Trellis => self.run_trellis(cfg),
-            Scheduler::PerInjection => self.run_per_injection(cfg),
+            Scheduler::Trellis => self.run_trellis(cfg, hooks),
+            Scheduler::PerInjection => self.run_per_injection(cfg, hooks),
         };
+        if H::ENABLED {
+            hooks.add("campaign.injections", cfg.injections as u64);
+            hooks.add("campaign.classified", report.total() as u64);
+            hooks.add("steps.prefix", report.steps_prefix);
+            hooks.add("steps.suffix", report.steps_suffix);
+            hooks.add("steps.care", report.steps_care);
+            self.record_instruction_mix(hooks);
+        }
         if !cfg.keep_records {
             report.records = Vec::new();
         }
         report
+    }
+
+    /// Derive the golden run's instruction-mix counters from the execution
+    /// profile — `mix.<mnemonic>` weighted by dynamic execution count. Done
+    /// post-hoc against the already-collected [`Profile`], so the simulation
+    /// loops are never instrumented for it.
+    fn record_instruction_mix<H: Hooks>(&self, hooks: &H) {
+        let mods: Vec<&simx::MachineModule> = std::iter::once(self.exe.machine.as_ref())
+            .chain(self.libs.iter().map(|l| l.machine.as_ref()))
+            .collect();
+        for (m, funcs) in self.profile.iter().enumerate() {
+            for (f, counts) in funcs.iter().enumerate() {
+                for (i, &n) in counts.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    let Some(inst) =
+                        mods.get(m).and_then(|mm| mm.funcs.get(f)).and_then(|mf| mf.instrs.get(i))
+                    else {
+                        continue;
+                    };
+                    hooks.add(mix_counter(inst.kind_name()), n);
+                }
+            }
+        }
+    }
+}
+
+/// Static `mix.*` counter name for an [`MInst::kind_name`](simx::MInst)
+/// mnemonic (hook names are `&'static str`; no formatting at record time).
+fn mix_counter(kind: &'static str) -> &'static str {
+    match kind {
+        "mov" => "mix.mov",
+        "store" => "mix.store",
+        "lea" => "mix.lea",
+        "bin" => "mix.bin",
+        "icmp" => "mix.icmp",
+        "fcmp" => "mix.fcmp",
+        "cast" => "mix.cast",
+        "select" => "mix.select",
+        "jmp" => "mix.jmp",
+        "jnz" => "mix.jnz",
+        "getarg" => "mix.getarg",
+        "call" => "mix.call",
+        "callintr" => "mix.callintr",
+        "ret" => "mix.ret",
+        _ => "mix.other",
     }
 }
 

@@ -87,6 +87,29 @@ impl RecoveryTime {
             (t - self.kernel_ms) / t
         }
     }
+
+    /// The breakdown as named phases, in Algorithm 1 order. This is the one
+    /// place the field→phase-name mapping lives; the telemetry span names
+    /// are derived from these (`recovery.<phase>_ns`) and the repro summary
+    /// prints them in this order.
+    pub fn phases(&self) -> [(&'static str, f64); 6] {
+        [
+            ("diagnose", self.diagnose_ms),
+            ("table", self.table_ms),
+            ("load", self.load_ms),
+            ("params", self.params_ms),
+            ("kernel", self.kernel_ms),
+            ("patch", self.patch_ms),
+        ]
+    }
+
+    /// Preparation fraction in basis points (1/100 of a percent), rounded —
+    /// the unit the telemetry histogram `recovery.prep_bp` uses, chosen
+    /// because log2 buckets around 9 800–10 000 are fine-grained enough to
+    /// resolve the ">98 %" threshold while staying integral.
+    pub fn preparation_bp(&self) -> u64 {
+        (self.preparation_fraction() * 10_000.0).round() as u64
+    }
 }
 
 #[cfg(test)]
@@ -121,5 +144,70 @@ mod tests {
             patch_ms: 6.0,
         };
         assert!((t.total_ms() - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preparation_fraction_arithmetic_is_pinned() {
+        // Exact values, not just ">0.98": prep = total − kernel over total.
+        let t = RecoveryTime {
+            diagnose_ms: 2.0,
+            table_ms: 1.0,
+            load_ms: 4.0,
+            params_ms: 2.0,
+            kernel_ms: 1.0,
+            patch_ms: 0.0,
+        };
+        assert!((t.preparation_fraction() - 0.9).abs() < 1e-12);
+        assert_eq!(t.preparation_bp(), 9000);
+        // Kernel-free activation: all preparation.
+        let all_prep = RecoveryTime { kernel_ms: 0.0, ..t };
+        assert!((all_prep.preparation_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(all_prep.preparation_bp(), 10_000);
+        // Degenerate zero activation must not divide by zero.
+        assert_eq!(RecoveryTime::default().preparation_fraction(), 0.0);
+        assert_eq!(RecoveryTime::default().preparation_bp(), 0);
+    }
+
+    #[test]
+    fn phases_cover_every_field_in_order() {
+        let t = RecoveryTime {
+            diagnose_ms: 1.0,
+            table_ms: 2.0,
+            load_ms: 3.0,
+            params_ms: 4.0,
+            kernel_ms: 5.0,
+            patch_ms: 6.0,
+        };
+        let phases = t.phases();
+        let names: Vec<&str> = phases.iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, ["diagnose", "table", "load", "params", "kernel", "patch"]);
+        // The phases partition the total exactly.
+        let sum: f64 = phases.iter().map(|&(_, ms)| ms).sum();
+        assert!((sum - t.total_ms()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_model_typical_activation_exceeds_98pct_preparation() {
+        // The concrete activation shape the campaigns produce: small kernel
+        // (tens of instructions), modest table, few params. Pin the *bound*
+        // the paper claims with the default constants.
+        let c = CostModel::default();
+        for (kernel_instrs, params, table_kib) in
+            [(5u32, 1u32, 1.0f64), (50, 4, 64.0), (500, 8, 256.0)]
+        {
+            let t = RecoveryTime {
+                diagnose_ms: c.diagnose_ms,
+                table_ms: table_kib * c.table_decode_per_kib_ms,
+                load_ms: c.dlopen_base_ms + c.dlsym_ms,
+                params_ms: params as f64 * c.param_fetch_ms + c.ffi_setup_ms,
+                kernel_ms: kernel_instrs as f64 * c.kernel_per_instr_ms,
+                patch_ms: c.patch_resume_ms,
+            };
+            assert!(
+                t.preparation_fraction() > 0.98,
+                "kernel_instrs={kernel_instrs}: frac={}",
+                t.preparation_fraction()
+            );
+        }
     }
 }

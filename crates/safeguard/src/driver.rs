@@ -43,6 +43,19 @@ pub fn run_protected(
     safeguard: &mut Safeguard,
     max_recoveries: u64,
 ) -> ProtectedExit {
+    run_protected_with_hooks(process, safeguard, max_recoveries, &telemetry::NoTelemetry)
+}
+
+/// [`run_protected`] with telemetry hooks, threaded through to
+/// [`Safeguard::handle_trap_with_hooks`]. The simulation loop itself stays
+/// uninstrumented — `Process::run` is the hot path and hooks only observe
+/// its trap exits.
+pub fn run_protected_with_hooks<H: telemetry::Hooks>(
+    process: &mut Process,
+    safeguard: &mut Safeguard,
+    max_recoveries: u64,
+    hooks: &H,
+) -> ProtectedExit {
     let mut recoveries = 0u64;
     let mut recovery_ms = 0.0f64;
     loop {
@@ -62,7 +75,7 @@ pub fn run_protected(
                         recoveries,
                     };
                 }
-                match safeguard.handle_trap(process, trap) {
+                match safeguard.handle_trap_with_hooks(process, trap, hooks) {
                     RecoveryOutcome::Recovered { time } => {
                         recoveries += 1;
                         recovery_ms += time.total_ms();

@@ -121,6 +121,54 @@ pub enum DeclineKind {
     Hang,
 }
 
+impl DeclineKind {
+    /// All kinds, in declaration order (stable iteration for reports — a
+    /// `HashMap<DeclineKind, _>` has no useful order of its own).
+    pub const ALL: [DeclineKind; 13] = [
+        DeclineKind::NotASegv,
+        DeclineKind::UnknownPc,
+        DeclineKind::UnprotectedModule,
+        DeclineKind::NoLineInfo,
+        DeclineKind::NoKernelForKey,
+        DeclineKind::BadTable,
+        DeclineKind::ParamUnavailable,
+        DeclineKind::ParamFetchFault,
+        DeclineKind::KernelFault,
+        DeclineKind::SameAddress,
+        DeclineKind::NoMemOperand,
+        DeclineKind::UnpatchableOperand,
+        DeclineKind::Hang,
+    ];
+
+    /// Telemetry counter name for this kind (static, since hook names are
+    /// `&'static str` by design — no per-decline formatting).
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            DeclineKind::NotASegv => "recovery.decline.NotASegv",
+            DeclineKind::UnknownPc => "recovery.decline.UnknownPc",
+            DeclineKind::UnprotectedModule => "recovery.decline.UnprotectedModule",
+            DeclineKind::NoLineInfo => "recovery.decline.NoLineInfo",
+            DeclineKind::NoKernelForKey => "recovery.decline.NoKernelForKey",
+            DeclineKind::BadTable => "recovery.decline.BadTable",
+            DeclineKind::ParamUnavailable => "recovery.decline.ParamUnavailable",
+            DeclineKind::ParamFetchFault => "recovery.decline.ParamFetchFault",
+            DeclineKind::KernelFault => "recovery.decline.KernelFault",
+            DeclineKind::SameAddress => "recovery.decline.SameAddress",
+            DeclineKind::NoMemOperand => "recovery.decline.NoMemOperand",
+            DeclineKind::UnpatchableOperand => "recovery.decline.UnpatchableOperand",
+            DeclineKind::Hang => "recovery.decline.Hang",
+        }
+    }
+
+    /// Bare kind name (the counter name without its `recovery.decline.`
+    /// namespace) — used by report tables and `BENCH_campaign.json`.
+    pub fn short_name(self) -> &'static str {
+        self.counter_name()
+            .strip_prefix("recovery.decline.")
+            .unwrap_or("unknown")
+    }
+}
+
 impl std::fmt::Display for DeclineKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{self:?}")
@@ -282,17 +330,71 @@ impl Safeguard {
 
     /// Algorithm 1. `process` must be frozen at a trap.
     pub fn handle_trap(&mut self, process: &mut Process, trap: Trap) -> RecoveryOutcome {
+        self.handle_trap_with_hooks(process, trap, &telemetry::NoTelemetry)
+    }
+
+    /// [`handle_trap`](Self::handle_trap) with telemetry hooks.
+    ///
+    /// With hooks enabled, a successful recovery records a span per
+    /// Algorithm 1 phase (`recovery.<phase>_ns`: diagnose/PC→key, table
+    /// decode, library load, parameter fetch, kernel execution, disassemble
+    /// and register patch) plus the preparation fraction in basis points
+    /// (`recovery.prep_bp`). Phase spans carry the **modelled** CostModel
+    /// milliseconds converted to nanoseconds — deterministic by
+    /// construction, so a telemetry-enabled campaign reproduces the same
+    /// distribution on every run and the >98 %-preparation claim becomes a
+    /// measured, reproducible histogram rather than one arithmetic check.
+    /// The only wall-clock sample is `safeguard.handler_wall_ns` (the
+    /// simulator's own handler overhead).
+    pub fn handle_trap_with_hooks<H: telemetry::Hooks>(
+        &mut self,
+        process: &mut Process,
+        trap: Trap,
+        hooks: &H,
+    ) -> RecoveryOutcome {
         let wall = std::time::Instant::now();
         let out = self.handle_inner(process, trap);
         self.stats.handler_wall_s += wall.elapsed().as_secs_f64();
         self.stats.activations += 1;
+        if H::ENABLED {
+            hooks.add("recovery.activations", 1);
+            hooks.record("safeguard.handler_wall_ns", wall.elapsed().as_nanos() as u64);
+        }
         match &out {
             RecoveryOutcome::Recovered { time } => {
                 self.stats.recovered += 1;
                 self.stats.total_recovery_ms += time.total_ms();
+                if H::ENABLED {
+                    hooks.add("recovery.recovered", 1);
+                    let ns = |ms: f64| (ms * 1e6) as u64;
+                    hooks.record("recovery.diagnose_ns", ns(time.diagnose_ms));
+                    hooks.record("recovery.table_ns", ns(time.table_ms));
+                    hooks.record("recovery.load_ns", ns(time.load_ms));
+                    hooks.record("recovery.params_ns", ns(time.params_ms));
+                    hooks.record("recovery.kernel_ns", ns(time.kernel_ms));
+                    hooks.record("recovery.patch_ns", ns(time.patch_ms));
+                    hooks.record("recovery.total_ns", ns(time.total_ms()));
+                    let bp = time.preparation_bp();
+                    hooks.record("recovery.prep_bp", bp);
+                    if bp > 9800 {
+                        hooks.add("recovery.prep_over_98pct", 1);
+                    }
+                    hooks.emit(|| {
+                        telemetry::Event::new("recovery")
+                            .field("pc", trap.pc)
+                            .field("total_ms", time.total_ms())
+                            .field("prep_bp", bp)
+                            .field("kernel_ns", ns(time.kernel_ms))
+                    });
+                }
             }
             RecoveryOutcome::NotRecovered(r) => {
-                *self.stats.declined.entry(r.kind()).or_default() += 1;
+                let kind = r.kind();
+                *self.stats.declined.entry(kind).or_default() += 1;
+                if H::ENABLED {
+                    hooks.add("recovery.declined", 1);
+                    hooks.add(kind.counter_name(), 1);
+                }
             }
         }
         out

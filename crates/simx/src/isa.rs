@@ -238,6 +238,29 @@ impl MInst {
             MInst::Jmp { .. } | MInst::Jnz { .. } | MInst::Call { .. } | MInst::Ret { .. }
         )
     }
+
+    /// Static mnemonic of this instruction's variant — the key the telemetry
+    /// instruction-mix histogram buckets by. Derived post-hoc from the golden
+    /// run's execution profile, so classifying a workload's mix costs the
+    /// simulation loop nothing.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            MInst::Mov { .. } => "mov",
+            MInst::Store { .. } => "store",
+            MInst::Lea { .. } => "lea",
+            MInst::Bin { .. } => "bin",
+            MInst::Icmp { .. } => "icmp",
+            MInst::Fcmp { .. } => "fcmp",
+            MInst::Cast { .. } => "cast",
+            MInst::Select { .. } => "select",
+            MInst::Jmp { .. } => "jmp",
+            MInst::Jnz { .. } => "jnz",
+            MInst::GetArg { .. } => "getarg",
+            MInst::Call { .. } => "call",
+            MInst::CallIntr { .. } => "callintr",
+            MInst::Ret { .. } => "ret",
+        }
+    }
 }
 
 /// Bytes per encoded instruction (fixed-width encoding).

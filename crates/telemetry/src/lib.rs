@@ -1,0 +1,66 @@
+//! # telemetry — zero-overhead observability for the CARE stack
+//!
+//! The paper's headline quantitative claims are *timing* claims: >98 % of a
+//! recovery is preparation rather than kernel execution (§5.3), and a
+//! dozens-of-milliseconds rank-0 recovery disappears into the next allreduce
+//! barrier (Fig. 10). This crate turns those from single modelled numbers
+//! into first-class measured artefacts — distributions, counters and a
+//! machine-readable event stream — without costing the instrumented fast
+//! paths anything when disabled.
+//!
+//! ## The hook-parameter design
+//!
+//! Instrumented code takes a generic `H: `[`Hooks`] parameter instead of a
+//! concrete recorder. [`Hooks::ENABLED`] is an associated constant, so every
+//! call site is written as
+//!
+//! ```ignore
+//! if H::ENABLED {
+//!     hooks.add("tlb.loads", stats.loads);
+//! }
+//! ```
+//!
+//! and monomorphization with [`NoTelemetry`] (`ENABLED = false`) deletes the
+//! branch and its operands entirely — the disabled path compiles to exactly
+//! the uninstrumented code, which is what lets `simx`'s `run_loop::<HOOKS>`
+//! fast loop stay hook-free and the campaign engine claim a 0 % disabled-
+//! mode regression. The enabled implementation is [`Recorder`]: per-thread
+//! **shards** (uncontended mutexes reached through a thread-local cache)
+//! accumulate counters, histograms and events, and [`Recorder::drain`]
+//! merges them into a [`TelemetryReport`].
+//!
+//! ## Primitives
+//!
+//! * [`Histogram`] — log2-bucketed value distribution with *exact*
+//!   count/sum/min/max (buckets only approximate quantiles, never moments).
+//! * sharded counters — `add(name, delta)`; per-shard subtotals survive the
+//!   drain, so per-worker utilization falls out of the counter design.
+//! * span timers — [`timed`] measures wall-clock nanoseconds around a
+//!   closure; simulated-step "time" is recorded by passing step deltas to
+//!   [`Hooks::record`] (both land in histograms, distinguished by the
+//!   `_ns` / `_steps` name suffix convention).
+//! * two sinks — [`TelemetryReport::to_jsonl`], a versioned structured
+//!   event stream (one JSON object per line, `schema_version` =
+//!   [`SCHEMA_VERSION`]), and [`TelemetryReport::summary_table`], the
+//!   human-readable phase-latency/counter rendering.
+//!
+//! The JSONL stream can be checked without serde via
+//! [`schema::validate_jsonl`], which parses every line with a minimal
+//! recursive-descent JSON reader and returns the per-kind line counts.
+
+pub mod event;
+pub mod hist;
+pub mod recorder;
+pub mod report;
+pub mod schema;
+
+pub use event::{Event, Value};
+pub use hist::Histogram;
+pub use recorder::{timed, Hooks, NoTelemetry, Recorder};
+pub use report::TelemetryReport;
+pub use schema::{parse_json, validate_jsonl, Json};
+
+/// Version of the JSONL event schema emitted by [`TelemetryReport::to_jsonl`].
+/// Bump on any report-shape change; `tests/telemetry.rs` and the schema
+/// validator pin it so changes are explicit instead of silent.
+pub const SCHEMA_VERSION: u32 = 1;

@@ -60,6 +60,66 @@ impl MemFault {
     }
 }
 
+/// Access and TLB counters kept by [`PagedMemory`].
+///
+/// `loads`/`stores` are bumped on the hot paths (replacing the old single
+/// `access_count` — same cost, one increment); the `*_tlb_misses` fields
+/// are only bumped on the slow paths, so hits need no counter at all:
+/// `hits = accesses − misses`. Bulk [`PagedMemory::read_bytes`] /
+/// [`PagedMemory::write_bytes`] traffic is excluded, as it was from
+/// `access_count` — these count *simulated* word accesses, not loader I/O.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Word loads served (including ones that faulted after the alignment
+    /// check).
+    pub loads: u64,
+    /// Word stores served (same caveat).
+    pub stores: u64,
+    /// Loads that missed the read TLB and walked the page table.
+    pub read_tlb_misses: u64,
+    /// Stores that missed the write TLB and took the CoW slow path.
+    pub write_tlb_misses: u64,
+}
+
+impl MemStats {
+    /// Total word accesses (the old `access_count`).
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// TLB hits across both caches.
+    pub fn hits(&self) -> u64 {
+        self.accesses() - self.read_tlb_misses - self.write_tlb_misses
+    }
+
+    /// Combined hit rate in `[0, 1]`; 1.0 for an idle memory.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            1.0
+        } else {
+            self.hits() as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot of the same memory.
+    pub fn since(&self, base: &MemStats) -> MemStats {
+        MemStats {
+            loads: self.loads - base.loads,
+            stores: self.stores - base.stores,
+            read_tlb_misses: self.read_tlb_misses - base.read_tlb_misses,
+            write_tlb_misses: self.write_tlb_misses - base.write_tlb_misses,
+        }
+    }
+
+    /// Elementwise accumulation (for aggregating per-run deltas).
+    pub fn merge(&mut self, other: &MemStats) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.read_tlb_misses += other.read_tlb_misses;
+        self.write_tlb_misses += other.write_tlb_misses;
+    }
+}
+
 /// Byte-addressable, fault-reporting memory.
 pub trait Memory {
     /// Load `size` bytes (1, 2, 4 or 8) from `addr` as little-endian bits.
@@ -125,8 +185,8 @@ pub struct PagedMemory {
     /// non-adjacent. `pages` takes precedence: a materialised page may
     /// still be covered by a span, and both are removed on unmap.
     zero_spans: Vec<(u64, u64)>,
-    /// Total number of loads+stores served (profiling aid).
-    pub access_count: u64,
+    /// Access and TLB-miss counters (profiling aid; see [`MemStats`]).
+    pub stats: MemStats,
     read_tlb: [TlbEntry; TLB_WAYS],
     write_tlb: [TlbEntry; TLB_WAYS],
     /// Epoch of live read entries; bumped on unmap.
@@ -150,7 +210,7 @@ impl Default for PagedMemory {
         PagedMemory {
             pages: HashMap::new(),
             zero_spans: Vec::new(),
-            access_count: 0,
+            stats: MemStats::default(),
             read_tlb: [TLB_EMPTY; TLB_WAYS],
             write_tlb: [TLB_EMPTY; TLB_WAYS],
             // Epochs start above the never-filled entries' 0.
@@ -172,7 +232,7 @@ impl Clone for PagedMemory {
         PagedMemory {
             pages: self.pages.clone(),
             zero_spans: self.zero_spans.clone(),
-            access_count: self.access_count,
+            stats: self.stats,
             ..PagedMemory::default()
         }
     }
@@ -300,7 +360,7 @@ impl Memory for PagedMemory {
         if addr & (size as u64 - 1) != 0 {
             return Err(MemFault::Misaligned(addr));
         }
-        self.access_count += 1;
+        self.stats.loads += 1;
         let (p, off) = Self::page_of(addr);
         let i = tlb_idx(p);
         let e = self.read_tlb[i];
@@ -309,6 +369,7 @@ impl Memory for PagedMemory {
             // allocation of a still-mapped page (see module docs).
             unsafe { &*e.ptr }
         } else {
+            self.stats.read_tlb_misses += 1;
             let ptr = match self.pages.get(&p) {
                 Some(arc) => Arc::as_ptr(arc) as *mut Page,
                 // A zero-span page reads through the static zero page; the
@@ -339,7 +400,7 @@ impl Memory for PagedMemory {
         if addr & (size as u64 - 1) != 0 {
             return Err(MemFault::Misaligned(addr));
         }
-        self.access_count += 1;
+        self.stats.stores += 1;
         let (p, off) = Self::page_of(addr);
         let e = self.write_tlb[tlb_idx(p)];
         let page: &mut Page =
@@ -350,6 +411,7 @@ impl Memory for PagedMemory {
                 // which bump `write_epoch` (see module docs).
                 unsafe { &mut *e.ptr }
             } else {
+                self.stats.write_tlb_misses += 1;
                 self.store_page_slow(p, addr)?
             };
         match size {
@@ -677,6 +739,45 @@ mod tests {
             assert_eq!(m.load(a, 8).unwrap(), i);
             assert_eq!(m.load(b, 8).unwrap(), 1000 + i);
         }
+    }
+
+    #[test]
+    fn mem_stats_count_accesses_and_misses() {
+        let mut m = PagedMemory::new();
+        m.map_region(0x1000, PAGE_SIZE);
+        // First store misses (cold TLB), the rest hit.
+        for i in 0..10u64 {
+            m.store(0x1000 + i * 8, 8, i).unwrap();
+        }
+        // Every load hits: the store slow path pre-warmed the read TLB.
+        for i in 0..10u64 {
+            assert_eq!(m.load(0x1000 + i * 8, 8).unwrap(), i);
+        }
+        let s = m.stats;
+        assert_eq!(s.loads, 10);
+        assert_eq!(s.stores, 10);
+        assert_eq!(s.accesses(), 20);
+        assert_eq!(s.read_tlb_misses, 0);
+        assert_eq!(s.write_tlb_misses, 1);
+        assert_eq!(s.hits(), 19);
+        assert!((s.hit_rate() - 0.95).abs() < 1e-12);
+        // Deltas relative to a snapshot of the counters.
+        let base = m.stats;
+        m.load(0x1000, 8).unwrap();
+        let d = m.stats.since(&base);
+        assert_eq!((d.loads, d.stores, d.read_tlb_misses), (1, 0, 0));
+        // Faulting accesses still count as accesses (they passed the
+        // alignment gate), matching the old access_count semantics.
+        let before = m.stats.loads;
+        assert!(m.load(0x9000_0000, 8).is_err());
+        assert_eq!(m.stats.loads, before + 1);
+        // merge() accumulates elementwise.
+        let mut acc = MemStats::default();
+        acc.merge(&d);
+        acc.merge(&d);
+        assert_eq!(acc.loads, 2);
+        // An idle memory reports a perfect hit rate rather than NaN.
+        assert_eq!(MemStats::default().hit_rate(), 1.0);
     }
 
     #[test]

@@ -105,6 +105,83 @@ fn trellis_records_match_legacy_on_all_workloads() {
     }
 }
 
+/// The committed `BENCH_campaign.json` must carry the current schema
+/// version (bumped in `bench::BENCH_SCHEMA_VERSION` whenever the shape
+/// changes) and the telemetry sections the v2 schema introduced. Regenerate
+/// with `cargo run --release -p bench --bin repro -- bench-json` after an
+/// intentional schema change.
+#[test]
+fn committed_bench_json_matches_schema_version() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/BENCH_campaign.json"
+    ))
+    .expect("BENCH_campaign.json is committed at the repo root");
+    let doc = telemetry::parse_json(&text).expect("BENCH_campaign.json parses");
+    assert_eq!(
+        doc.get("schema_version").and_then(|v| v.as_f64()),
+        Some(bench::BENCH_SCHEMA_VERSION as f64),
+        "BENCH_campaign.json schema_version is stale; regenerate with repro bench-json"
+    );
+    let tel = doc.get("telemetry").expect("v2 carries a telemetry section");
+    assert_eq!(
+        tel.get("schema_version").and_then(|v| v.as_f64()),
+        Some(telemetry::SCHEMA_VERSION as f64),
+    );
+    match doc.get("workloads") {
+        Some(telemetry::Json::Arr(rows)) => {
+            assert!(!rows.is_empty());
+            for row in rows {
+                for key in ["workload", "declines", "tlb", "recovery"] {
+                    assert!(row.get(key).is_some(), "workload row missing {key:?}");
+                }
+                let hit = row
+                    .get("tlb")
+                    .and_then(|t| t.get("hit_rate"))
+                    .and_then(|v| v.as_f64())
+                    .expect("tlb.hit_rate");
+                assert!((0.0..=1.0).contains(&hit), "hit rate {hit} out of range");
+            }
+        }
+        other => panic!("workloads should be an array, got {other:?}"),
+    }
+}
+
+/// Telemetry must be a pure observer: running the same fixed-seed campaign
+/// with a live [`telemetry::Recorder`] attached yields bit-identical
+/// records to the hook-free run, and the recorder's JSONL self-validates.
+#[test]
+fn telemetry_recorder_does_not_perturb_campaign_records() {
+    let w = workloads::hpccg::build(3, 2);
+    let app = care::compile(&w.module, OptLevel::O1);
+    let campaign = Campaign::prepare(&w, app, vec![]);
+    let cfg = CampaignConfig {
+        injections: 40,
+        model: FaultModel::SingleBit,
+        seed: 0xCA2E,
+        evaluate_care: true,
+        app_only: true,
+        keep_records: true,
+        ..CampaignConfig::default()
+    };
+    let plain = campaign.run(&cfg);
+    let rec = telemetry::Recorder::new();
+    let traced = campaign.run_with_hooks(&cfg, &rec);
+    assert_eq!(
+        plain.records, traced.records,
+        "a live recorder changed campaign behaviour"
+    );
+    let report = rec.drain();
+    let counts = telemetry::validate_jsonl(&report.to_jsonl())
+        .expect("recorder JSONL validates against its own schema");
+    assert!(counts.get("counter").copied().unwrap_or(0) > 0);
+    assert_eq!(
+        report.counters.get("campaign.injections").copied(),
+        Some(40),
+        "campaign.injections counter disagrees with the config"
+    );
+}
+
 fn tiny_campaign() -> &'static Campaign {
     static TINY: OnceLock<Campaign> = OnceLock::new();
     TINY.get_or_init(|| {

@@ -1,0 +1,121 @@
+//! Integration tests for the telemetry subsystem against a real campaign.
+//!
+//! The paper's §6 observation — that >98% of each recovery is *preparation*
+//! (diagnosis, table decode, kernel load, parameter collection) rather than
+//! kernel execution — is checked here as a **measured distribution** pulled
+//! out of the telemetry stream of a live HPCCG coverage campaign, not just
+//! as cost-model arithmetic (that part is pinned in `safeguard`'s unit
+//! tests).
+
+use faultsim::{Campaign, CampaignConfig, FaultModel};
+use opt::OptLevel;
+use telemetry::{Recorder, TelemetryReport};
+
+fn traced_hpccg_campaign(injections: usize) -> TelemetryReport {
+    let w = workloads::hpccg::build(3, 2);
+    let app = care::compile(&w.module, OptLevel::O1);
+    let campaign = Campaign::prepare(&w, app, vec![]);
+    let rec = Recorder::new();
+    campaign.run_with_hooks(
+        &CampaignConfig {
+            injections,
+            model: FaultModel::SingleBit,
+            seed: 0xCA2E,
+            evaluate_care: true,
+            app_only: true,
+            ..CampaignConfig::default()
+        },
+        &rec,
+    );
+    rec.drain()
+}
+
+#[test]
+fn measured_preparation_fraction_exceeds_95_percent_on_hpccg() {
+    let tel = traced_hpccg_campaign(100);
+    let ctr = |n: &str| tel.counters.get(n).copied().unwrap_or(0);
+    let activations = ctr("recovery.activations");
+    let recovered = ctr("recovery.recovered");
+    assert!(recovered > 0, "campaign produced no recoveries to measure");
+    // Activations split exactly into recoveries and declines.
+    assert_eq!(activations, recovered + ctr("recovery.declined"));
+    let prep = tel
+        .hists
+        .get("recovery.prep_bp")
+        .expect("per-recovery preparation-fraction histogram");
+    assert_eq!(prep.count(), recovered, "one prep sample per successful recovery");
+    // Mean and *minimum* of the measured distribution: every single
+    // recovery spent >95% of its modelled time preparing (the paper's §6
+    // claim is >98% on average; the floor leaves room for tiny kernels).
+    assert!(
+        prep.mean() / 10_000.0 > 0.95,
+        "mean preparation fraction {:.4} <= 0.95",
+        prep.mean() / 10_000.0
+    );
+    assert!(
+        prep.min() as f64 / 10_000.0 > 0.90,
+        "worst-case preparation fraction {:.4} <= 0.90",
+        prep.min() as f64 / 10_000.0
+    );
+    // The modelled per-phase spans decompose consistently: kernel execution
+    // is a sliver of the total.
+    let sum = |n: &str| tel.hists.get(n).map_or(0, |h| h.sum());
+    let total = sum("recovery.total_ns");
+    let kernel = sum("recovery.kernel_ns");
+    assert!(total > 0);
+    assert!(
+        (kernel as f64) < 0.05 * total as f64,
+        "kernel execution {kernel}ns is not a sliver of {total}ns"
+    );
+}
+
+#[test]
+fn campaign_jsonl_roundtrips_and_validates() {
+    let tel = traced_hpccg_campaign(60);
+    let jsonl = tel.to_jsonl();
+    let counts = telemetry::validate_jsonl(&jsonl).expect("valid versioned JSONL");
+    assert!(counts.get("counter").copied().unwrap_or(0) > 0, "{counts:?}");
+    assert!(counts.get("hist").copied().unwrap_or(0) > 0, "{counts:?}");
+    // Events are counted under their kind name: one "job" line per
+    // classified injection, one "recovery" line per successful recovery.
+    assert_eq!(counts.get("job").copied().unwrap_or(0), 60, "{counts:?}");
+    assert!(counts.get("recovery").copied().unwrap_or(0) > 0, "{counts:?}");
+    // Every line individually parses as a JSON object.
+    for line in jsonl.lines() {
+        let v = telemetry::parse_json(line).expect("line parses");
+        assert!(v.get("kind").is_some() || v.get("schema_version").is_some());
+    }
+}
+
+#[test]
+fn tlb_hit_rate_is_high_and_consistent() {
+    let tel = traced_hpccg_campaign(60);
+    let ctr = |n: &str| tel.counters.get(n).copied().unwrap_or(0);
+    let accesses = ctr("tlb.loads") + ctr("tlb.stores");
+    let misses = ctr("tlb.read_misses") + ctr("tlb.write_misses");
+    assert!(accesses > 0, "campaign performed no instrumented accesses");
+    assert!(misses <= accesses, "more misses than accesses");
+    let hit_rate = (accesses - misses) as f64 / accesses as f64;
+    // HPCCG streams rows with strong page locality; the 1-entry software
+    // TLB should absorb the overwhelming majority of accesses.
+    assert!(hit_rate > 0.90, "TLB hit rate {hit_rate:.4} suspiciously low");
+}
+
+#[test]
+fn instruction_mix_and_step_split_cover_the_campaign() {
+    let tel = traced_hpccg_campaign(60);
+    let ctr = |n: &str| tel.counters.get(n).copied().unwrap_or(0);
+    // The golden-run instruction mix is recorded post-hoc from the profile;
+    // a load-heavy CG solve must show movs and memory traffic.
+    assert!(ctr("mix.mov") > 0);
+    assert!(ctr("mix.store") > 0);
+    assert!(ctr("mix.jnz") > 0, "loops imply conditional jumps");
+    // Step-split counters reconcile with the per-job histogram totals.
+    let suffix_hist = tel.hists.get("job.suffix_steps").expect("per-job suffix steps");
+    assert_eq!(
+        ctr("steps.suffix"),
+        suffix_hist.sum(),
+        "aggregate suffix steps disagree with the per-job distribution"
+    );
+    assert_eq!(ctr("campaign.injections"), 60);
+}
