@@ -19,7 +19,8 @@ use simx::DieRequest;
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 use tinyir::{
-    Callee, Function, FuncId, Global, GlobalInit, Instr, InstrId, InstrKind, Module, Ty, Value,
+    Callee, Function, FuncId, Global, GlobalId, GlobalInit, Instr, InstrId, InstrKind, Module,
+    Ty, Value,
 };
 
 /// Aggregate statistics (feeds Tables 5 and 8).
@@ -146,6 +147,7 @@ pub fn run_armor_with(app: &Module, config: ArmorConfig) -> ArmorOutput {
         let lt = Instant::now();
         let lv = Liveness::compute(f, &cfg);
         liveness_time += lt.elapsed().as_secs_f64();
+        let ms = MemScan::new(f, &cfg);
 
         for access in f.mem_access_instrs() {
             stats.mem_accesses += 1;
@@ -154,7 +156,13 @@ pub fn run_armor_with(app: &Module, config: ArmorConfig) -> ArmorOutput {
             if ops >= 2 {
                 stats.multi_op_accesses += 1;
             }
-            let addr = f.instr(access).addr_operand().expect("memory access");
+            // `mem_access_instrs` only yields loads/stores, which always
+            // carry an address operand — but a malformed module reaching the
+            // pass must degrade to "no kernel", not a compiler panic.
+            let Some(addr) = f.instr(access).addr_operand() else {
+                stats.infeasible += 1;
+                continue;
+            };
             // Direct alloca/global dereferences carry no computation.
             if matches!(addr, Value::Global(_))
                 || addr
@@ -178,18 +186,16 @@ pub fn run_armor_with(app: &Module, config: ArmorConfig) -> ArmorOutput {
                 continue;
             }
 
-            match extract_kernel(app, f, &lv, access, addr, config) {
+            match extract_kernel(app, f, &lv, &ms, access, addr, config) {
                 Some(ext) => {
                     let kidx = kernel_module.funcs.len();
                     let symbol = format!("care_recovery_k{}_{}", kidx, key.hex());
-                    let (kernel_fn, param_specs, reqs) = build_kernel(
-                        app,
-                        f,
-                        fid,
-                        &symbol,
-                        kidx,
-                        &ext,
-                    );
+                    let Some((kernel_fn, param_specs, reqs)) =
+                        build_kernel(app, f, fid, &symbol, kidx, &ext)
+                    else {
+                        stats.infeasible += 1;
+                        continue;
+                    };
                     stats.total_kernel_instrs += ext.stmts.len();
                     stats.num_kernels += 1;
                     let kfid = kernel_module.add_func(kernel_fn);
@@ -209,6 +215,159 @@ pub fn run_armor_with(app: &Module, config: ArmorConfig) -> ArmorOutput {
     ArmorOutput { kernel_module, table, die_requests, stats }
 }
 
+/// The memory region an address is statically known to point into.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MemRoot {
+    /// A specific stack slot.
+    Alloca(InstrId),
+    /// A specific global.
+    Global(GlobalId),
+    /// Could be anything (loaded/argument/phi pointers).
+    Unknown,
+}
+
+fn mem_root(f: &Function, addr: Value) -> MemRoot {
+    match addr {
+        Value::Global(g) => MemRoot::Global(g),
+        Value::Instr(id) => match &f.instr(id).kind {
+            InstrKind::Alloca { .. } => MemRoot::Alloca(id),
+            InstrKind::Gep { base, .. } => mem_root(f, *base),
+            InstrKind::Cast { val, .. } => mem_root(f, *val),
+            _ => MemRoot::Unknown,
+        },
+        _ => MemRoot::Unknown,
+    }
+}
+
+fn roots_may_alias(a: MemRoot, b: MemRoot) -> bool {
+    matches!(a, MemRoot::Unknown) || matches!(b, MemRoot::Unknown) || a == b
+}
+
+/// Store-interference scan for one function.
+///
+/// A kernel *re-executes* every load cloned into it, so a cloned load is
+/// only sound when the memory it reads cannot have changed between the
+/// load execution that produced the access's address and the access itself.
+/// This scan answers, conservatively, "may any store (or opaque call) that
+/// aliases the load's region execute after the load and before the access,
+/// on a path that does not re-execute the load?" — paths that pass through
+/// the load again are harmless (the re-execution refreshes the value), which
+/// is what keeps loop-resident loads clonable when the aliasing store sits
+/// later in the same iteration.
+struct MemScan {
+    /// `(block index, intra-block position)` of every block-resident instr.
+    pos: HashMap<InstrId, (usize, usize)>,
+    /// `reach[a][b]`: can control leave block `a` and later enter block `b`
+    /// (paths of ≥ 1 CFG edge, so `reach[a][a]` means `a` sits on a cycle)?
+    reach: Vec<Vec<bool>>,
+    /// Block successors, for the load-avoiding path search.
+    succs: Vec<Vec<usize>>,
+    /// Stores and opaque calls, with the region each may write.
+    clobbers: Vec<(InstrId, MemRoot)>,
+}
+
+impl MemScan {
+    fn new(f: &Function, cfg: &Cfg) -> MemScan {
+        let n = cfg.len();
+        let mut pos = HashMap::new();
+        let mut clobbers = Vec::new();
+        for (bid, b) in f.block_iter() {
+            for (i, &iid) in b.instrs.iter().enumerate() {
+                pos.insert(iid, (bid.0 as usize, i));
+                match &f.instr(iid).kind {
+                    InstrKind::Store { ptr, .. } => clobbers.push((iid, mem_root(f, *ptr))),
+                    InstrKind::Call { callee, .. } => match callee {
+                        Callee::Intrinsic(intr) if intr.is_simple_math() => {}
+                        _ => clobbers.push((iid, MemRoot::Unknown)),
+                    },
+                    _ => {}
+                }
+            }
+        }
+        let mut reach = vec![vec![false; n]; n];
+        for (b, row) in reach.iter_mut().enumerate() {
+            let mut stack: Vec<usize> = cfg.succs[b].iter().map(|s| s.0 as usize).collect();
+            while let Some(x) = stack.pop() {
+                if !row[x] {
+                    row[x] = true;
+                    stack.extend(cfg.succs[x].iter().map(|s| s.0 as usize));
+                }
+            }
+        }
+        let succs = (0..n)
+            .map(|b| cfg.succs[b].iter().map(|s| s.0 as usize).collect())
+            .collect();
+        MemScan { pos, reach, succs, clobbers }
+    }
+
+    /// Is there an execution path on which `x` runs strictly before `y`?
+    /// Unplaced instructions answer `true` (conservative).
+    fn may_precede(&self, x: InstrId, y: InstrId) -> bool {
+        let (Some(&(bx, px)), Some(&(by, py))) = (self.pos.get(&x), self.pos.get(&y)) else {
+            return true;
+        };
+        (bx == by && px < py) || self.reach[bx][by]
+    }
+
+    /// May re-executing `load` at `access` observe different memory?
+    ///
+    /// A store matters only when some path runs it after the *last*
+    /// execution of the load and before the access — that is, when a path
+    /// `store → access` exists that does not pass through the load again
+    /// (re-executing the load refreshes the value the kernel observes, so
+    /// earlier stores are harmless).
+    fn load_clobbered(&self, f: &Function, load: InstrId, access: InstrId) -> bool {
+        let InstrKind::Load { ptr, .. } = f.instr(load).kind else {
+            return true;
+        };
+        let root = mem_root(f, ptr);
+        self.clobbers.iter().any(|&(s, sroot)| {
+            roots_may_alias(root, sroot)
+                && self.may_precede(load, s)
+                && self.reaches_avoiding(s, access, load)
+        })
+    }
+
+    /// Is there a path on which `s` runs strictly before `a` with `l` never
+    /// executing in between? Unplaced instructions answer `true`.
+    fn reaches_avoiding(&self, s: InstrId, a: InstrId, l: InstrId) -> bool {
+        let (Some(&(bs, ps)), Some(&(ba, pa)), Some(&(bl, pl))) =
+            (self.pos.get(&s), self.pos.get(&a), self.pos.get(&l))
+        else {
+            return true;
+        };
+        // Straight-line within one block: the segment executes exactly the
+        // instructions between `s` and `a`.
+        if bs == ba && ps < pa && !(bl == bs && ps < pl && pl < pa) {
+            return true;
+        }
+        // Otherwise control leaves `bs`, executing its tail after `s`.
+        if bl == bs && pl > ps {
+            return false;
+        }
+        // Block-level search. Intermediate blocks are traversed in full, so
+        // `l`'s block is off-limits; arriving at the target block executes
+        // its prefix up to `a`, which re-runs `l` when `l` sits above `a`.
+        let enter_ok = !(bl == ba && pl < pa);
+        let mut seen = vec![false; self.succs.len()];
+        let mut stack: Vec<usize> = self.succs[bs].clone();
+        while let Some(x) = stack.pop() {
+            if seen[x] {
+                continue;
+            }
+            seen[x] = true;
+            if x == ba && enter_ok {
+                return true;
+            }
+            if x == bl {
+                continue;
+            }
+            stack.extend(self.succs[x].iter().copied());
+        }
+        false
+    }
+}
+
 /// The backward slice of one address computation.
 struct Extraction {
     /// Cloned statements, in original program order.
@@ -221,14 +380,14 @@ struct Extraction {
 
 /// Is `v` a value Safeguard can *fetch* at recovery time?
 ///
-/// The paper's stop cases (1)–(5) — allocas, globals, arguments, phis and
-/// complex calls — are presumed addressable: the ABI parks arguments in
-/// well-known locations, phis/allocas are materialised storage, and globals
-/// are constant pointers. Ordinary instructions are *Terminal Values* (case
-/// 6) and must satisfy the live-at-`I` + non-local-use rule, which is what
-/// guarantees machine-dependent lowering keeps them around (§3.2). Runtime
-/// DIE location ranges catch the residual cases where a presumed-available
-/// value's register has been reused.
+/// Extraction stop cases (paper §3.2): allocas are stack slots addressable
+/// by frame offset, globals are constant pointers, and the ABI parks
+/// arguments in well-known locations — all presumed addressable. Everything
+/// register-allocated — phis, call results and ordinary instructions — must
+/// be live at the protected instruction `I`, or a register-reuse would feed
+/// a stale value into the kernel; ordinary instructions additionally need a
+/// non-local use, which is what guarantees machine-dependent lowering keeps
+/// them in a register or spill slot rather than folding them away.
 /// Values folded into the access's machine address mode: the `gep` feeding
 /// the access plus its operands. x86 lowering folds the address computation
 /// into the access itself (`disp(base,index,scale)`), so these values are
@@ -249,18 +408,22 @@ fn folded_address_values(f: &Function, access: InstrId) -> HashSet<Value> {
     set
 }
 
-fn fetchable(
-    f: &Function,
-    lv: &Liveness,
-    v: Value,
+/// Everything the Figure-5 recursion consults about one protected access:
+/// the function and its analyses, the access, and the pass configuration.
+struct SliceCtx<'a> {
+    f: &'a Function,
+    lv: &'a Liveness,
+    ms: &'a MemScan,
+    folded: HashSet<Value>,
     at: InstrId,
-    folded: &HashSet<Value>,
     config: ArmorConfig,
-) -> bool {
-    if folded.contains(&v) {
+}
+
+fn fetchable(cx: &SliceCtx<'_>, v: Value) -> bool {
+    if cx.folded.contains(&v) {
         return true;
     }
-    if !config.strict_liveness {
+    if !cx.config.strict_liveness {
         // Ablation: trust every value to still be around. The backend's DIE
         // ranges then decide at runtime — usually unfavourably.
         return true;
@@ -269,41 +432,29 @@ fn fetchable(
         Value::ConstInt(..) | Value::ConstFloat(..) | Value::ConstNull => true,
         Value::Global(_) => true, // constant pointer via symbol table
         Value::Arg(_) => true,    // incoming-argument slot/register
-        Value::Instr(id) => match &f.instr(id).kind {
-            InstrKind::Phi { .. } | InstrKind::Alloca { .. } => true,
-            InstrKind::Call { .. } => lv.value_live_at(v, at),
-            _ => lv.value_live_at(v, at) && lv.value_has_nonlocal_use(v),
+        Value::Instr(id) => match &cx.f.instr(id).kind {
+            // Allocas are stack storage: always addressable by frame offset.
+            InstrKind::Alloca { .. } => true,
+            // Phis are ordinary register-allocated temporaries once lowered;
+            // a phi that is dead at the access may have had its register
+            // reused, and fetching it would feed garbage into the kernel.
+            InstrKind::Phi { .. } | InstrKind::Call { .. } => cx.lv.value_live_at(v, cx.at),
+            _ => cx.lv.value_live_at(v, cx.at) && cx.lv.value_has_nonlocal_use(v),
         },
     }
 }
 
 /// The paper's `isExpandable(V, MemAccInst)` (Figure 5), memoised.
-fn is_expandable(
-    f: &Function,
-    lv: &Liveness,
-    memo: &mut HashMap<Value, bool>,
-    v: Value,
-    at: InstrId,
-    folded: &HashSet<Value>,
-    config: ArmorConfig,
-) -> bool {
+fn is_expandable(cx: &SliceCtx<'_>, memo: &mut HashMap<Value, bool>, v: Value) -> bool {
     if let Some(&r) = memo.get(&v) {
         return r;
     }
-    let result = expandable_uncached(f, lv, memo, v, at, folded, config);
+    let result = expandable_uncached(cx, memo, v);
     memo.insert(v, result);
     result
 }
 
-fn expandable_uncached(
-    f: &Function,
-    lv: &Liveness,
-    memo: &mut HashMap<Value, bool>,
-    v: Value,
-    at: InstrId,
-    folded: &HashSet<Value>,
-    config: ArmorConfig,
-) -> bool {
+fn expandable_uncached(cx: &SliceCtx<'_>, memo: &mut HashMap<Value, bool>, v: Value) -> bool {
     let id = match v {
         // Constants are trivially recomputable; globals/arguments are
         // start-points (parameters), never expanded.
@@ -311,47 +462,40 @@ fn expandable_uncached(
         Value::Global(_) | Value::Arg(_) => return false,
         Value::Instr(id) => id,
     };
-    match &f.instr(id).kind {
+    match &cx.f.instr(id).kind {
         InstrKind::Alloca { .. } | InstrKind::Phi { .. } => false,
         InstrKind::Call { callee, .. } => match callee {
             // Simple math intrinsics behave like ordinary binary operators;
             // anything else is a complex call that terminates extraction.
-            Callee::Intrinsic(i) if i.is_simple_math() => {
-                operands_available(f, lv, memo, id, at, folded, config)
-            }
+            Callee::Intrinsic(i) if i.is_simple_math() => operands_available(cx, memo, id),
             _ => false,
         },
         InstrKind::Store { .. }
         | InstrKind::Br { .. }
         | InstrKind::CondBr { .. }
         | InstrKind::Ret { .. } => false,
-        // Loads are re-executed against (ECC-protected) memory; their own
-        // address operands must be available.
-        InstrKind::Load { .. }
-        | InstrKind::Gep { .. }
+        // Loads are re-executed against (ECC-protected) memory, so cloning
+        // one is only sound when no store can have changed what it reads
+        // between the original load and the access.
+        InstrKind::Load { .. } => {
+            !cx.ms.load_clobbered(cx.f, id, cx.at) && operands_available(cx, memo, id)
+        }
+        InstrKind::Gep { .. }
         | InstrKind::Bin { .. }
         | InstrKind::Icmp { .. }
         | InstrKind::Fcmp { .. }
         | InstrKind::Cast { .. }
-        | InstrKind::Select { .. } => operands_available(f, lv, memo, id, at, folded, config),
+        | InstrKind::Select { .. } => operands_available(cx, memo, id),
     }
 }
 
 /// Figure 5's per-operand test: each operand must be live at the protected
 /// instruction, or itself recomputable.
-fn operands_available(
-    f: &Function,
-    lv: &Liveness,
-    memo: &mut HashMap<Value, bool>,
-    id: InstrId,
-    at: InstrId,
-    folded: &HashSet<Value>,
-    config: ArmorConfig,
-) -> bool {
-    f.instr(id).operands().into_iter().all(|op| {
-        fetchable(f, lv, op, at, folded, config)
-            || is_expandable(f, lv, memo, op, at, folded, config)
-    })
+fn operands_available(cx: &SliceCtx<'_>, memo: &mut HashMap<Value, bool>, id: InstrId) -> bool {
+    cx.f.instr(id)
+        .operands()
+        .into_iter()
+        .all(|op| fetchable(cx, op) || is_expandable(cx, memo, op))
 }
 
 /// The paper's `getParamsAndStmts`: partition the backward slice into cloned
@@ -361,11 +505,19 @@ fn extract_kernel(
     _app: &Module,
     f: &Function,
     lv: &Liveness,
+    ms: &MemScan,
     access: InstrId,
     addr: Value,
     config: ArmorConfig,
 ) -> Option<Extraction> {
-    let folded = folded_address_values(f, access);
+    let cx = SliceCtx {
+        f,
+        lv,
+        ms,
+        folded: folded_address_values(f, access),
+        at: access,
+        config,
+    };
     let mut memo = HashMap::new();
     let mut stmts: HashSet<InstrId> = HashSet::new();
     let mut params: Vec<Value> = Vec::new();
@@ -377,8 +529,11 @@ fn extract_kernel(
         if v.is_const() || !visited.insert(v) {
             continue;
         }
-        if is_expandable(f, lv, &mut memo, v, access, &folded, config) {
-            let id = v.as_instr().expect("expandable values are instructions");
+        if is_expandable(&cx, &mut memo, v) {
+            // Expandable non-constants are instructions by construction; if
+            // that invariant ever breaks, refuse the kernel instead of
+            // panicking mid-pass.
+            let id = v.as_instr()?;
             stmts.insert(id);
             for op in f.instr(id).operands() {
                 if !op.is_const() {
@@ -386,7 +541,7 @@ fn extract_kernel(
                 }
             }
         } else {
-            if !fetchable(f, lv, v, access, &folded, config) {
+            if !fetchable(&cx, v) {
                 return None; // dead, non-recomputable input: no kernel
             }
             if seen_params.insert(v) {
@@ -436,7 +591,9 @@ fn extract_kernel(
 }
 
 /// Clone the extraction into a standalone kernel function and produce the
-/// table parameter specs plus DIE requests.
+/// table parameter specs plus DIE requests. Returns `None` if a statement
+/// operand resolves to neither a parameter nor an earlier-cloned statement
+/// (a broken slice — the access is then counted infeasible, not panicked).
 fn build_kernel(
     app: &Module,
     f: &Function,
@@ -444,7 +601,7 @@ fn build_kernel(
     symbol: &str,
     kernel_index: usize,
     ext: &Extraction,
-) -> (Function, Vec<ParamSpec>, Vec<DieRequest>) {
+) -> Option<(Function, Vec<ParamSpec>, Vec<DieRequest>)> {
     let param_tys: Vec<Ty> = ext
         .params
         .iter()
@@ -460,25 +617,33 @@ fn build_kernel(
         .map(|(i, &p)| (p, i as u32))
         .collect();
     let mut cloned: HashMap<InstrId, InstrId> = HashMap::new();
-    let map_value = |v: Value, cloned: &HashMap<InstrId, InstrId>| -> Value {
+    let map_value = |v: Value, cloned: &HashMap<InstrId, InstrId>| -> Option<Value> {
         if let Some(&pi) = param_index.get(&v) {
-            return Value::Arg(pi);
+            return Some(Value::Arg(pi));
         }
         match v {
-            Value::Instr(id) => Value::Instr(*cloned.get(&id).unwrap_or_else(|| {
-                panic!("kernel statement operand {id:?} not cloned")
-            })),
-            other => other,
+            Value::Instr(id) => cloned.get(&id).map(|&c| Value::Instr(c)),
+            other => Some(other),
         }
     };
 
     for &sid in &ext.stmts {
         let mut instr = f.instr(sid).clone();
-        instr.map_operands(|v| map_value(v, &cloned));
+        let mut unresolved = false;
+        instr.map_operands(|v| match map_value(v, &cloned) {
+            Some(mapped) => mapped,
+            None => {
+                unresolved = true;
+                v
+            }
+        });
+        if unresolved {
+            return None;
+        }
         let new_id = kf.push_instr(entry, instr);
         cloned.insert(sid, new_id);
     }
-    let ret_val = map_value(ext.addr, &cloned);
+    let ret_val = map_value(ext.addr, &cloned)?;
     kf.push_instr(entry, Instr::new(InstrKind::Ret { val: Some(ret_val) }));
 
     let mut specs = Vec::with_capacity(ext.params.len());
@@ -500,7 +665,7 @@ fn build_kernel(
             }
         }
     }
-    (kf, specs, reqs)
+    Some((kf, specs, reqs))
 }
 
 #[cfg(test)]
@@ -732,5 +897,101 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn dead_phi_is_not_a_kernel_parameter() {
+        // A diamond-join phi whose only use is the address slice is dead at
+        // the access; its register may be reused, so no kernel may take it.
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        let g = mb.global_zeroed("arr", Ty::I64, 64);
+        mb.define("main", vec![Ty::I64], Some(Ty::I64), |fb| {
+            let cond = fb.icmp(tinyir::ICmp::Slt, fb.arg(0), Value::i64(1));
+            let t = fb.new_block("t");
+            let e = fb.new_block("e");
+            let j = fb.new_block("j");
+            fb.cond_br(cond, t, e);
+            fb.switch_to(t);
+            fb.br(j);
+            fb.switch_to(e);
+            fb.br(j);
+            fb.switch_to(j);
+            let p = fb.phi(vec![(t, Value::i64(3)), (e, fb.arg(0))], Ty::I64);
+            let scaled = fb.mul(p, Value::i64(5), Ty::I64);
+            let idx = fb.bin(tinyir::BinOp::And, scaled, Value::i64(63), Ty::I64);
+            let v = fb.load_elem(fb.global(g), idx, Ty::I64);
+            fb.ret(Some(v));
+        });
+        let m = mb.finish();
+        let out = run_armor(&m);
+        // The slice must stop at the folded gep index (a live register
+        // operand of the faulting access) instead of reaching through the
+        // dead phi and taking it as a parameter.
+        let main = m.func_by_name("main").unwrap();
+        let f = m.func(main);
+        for r in &out.die_requests {
+            if let Value::Instr(id) = r.value {
+                assert!(
+                    !matches!(f.instr(id).kind, InstrKind::Phi { .. }),
+                    "dead phi {id:?} leaked into kernel parameters"
+                );
+            }
+        }
+        assert_eq!(out.stats.num_kernels, 1, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn clobbered_load_is_not_cloned() {
+        // arr[1] feeds the address of an access inside a loop that also
+        // stores to arr[1]: re-executing the load in the kernel would read
+        // the clobbered value and recompute a different address.
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        let g = mb.global_zeroed("arr", Ty::I64, 128);
+        mb.define("main", vec![Ty::I64], Some(Ty::I64), |fb| {
+            let acc = fb.alloca(Ty::I64, 1);
+            fb.store(fb.arg(0), acc);
+            let seed = fb.load_elem(fb.global(g), Value::i64(1), Ty::I64);
+            fb.for_loop(Value::i64(0), Value::i64(2), |fb, _iv| {
+                let cur = fb.load(acc, Ty::I64);
+                let mixed = fb.add(cur, seed, Ty::I64);
+                let idx = fb.bin(tinyir::BinOp::And, mixed, Value::i64(127), Ty::I64);
+                let v = fb.load_elem(fb.global(g), idx, Ty::I64);
+                fb.store_elem(v, fb.global(g), Value::i64(1), Ty::I64);
+                let upd = fb.add(cur, v, Ty::I64);
+                fb.store(upd, acc);
+            });
+            let r = fb.load(acc, Ty::I64);
+            fb.ret(Some(r));
+        });
+        let out = run_armor(&mb.finish());
+        // No kernel may re-execute a load from `arr` (the clobbered region):
+        // the `seed` load must instead come in as a live DIE parameter. The
+        // `acc` stack slot is fair game — its only store runs after the
+        // access, and the loop path back re-executes the load first.
+        for kf in &out.kernel_module.funcs {
+            for (i, instr) in kf.instrs.iter().enumerate() {
+                if let InstrKind::Load { ptr, .. } = instr.kind {
+                    assert!(
+                        !matches!(mem_root(kf, ptr), MemRoot::Global(_)),
+                        "kernel {} instr {i} re-executes a clobberable load from a global",
+                        kf.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stores_to_disjoint_regions_do_not_block_cloning() {
+        // The stencil's acc-alloca stores must not stop loads from the
+        // disjoint `igrid` global being cloned (root-based alias check).
+        let m = stencil_module();
+        let out = run_armor(&m);
+        let any_cloned_load = out
+            .kernel_module
+            .funcs
+            .iter()
+            .any(|kf| kf.instrs.iter().any(|i| matches!(i.kind, InstrKind::Load { .. })));
+        assert!(any_cloned_load, "igrid load should still be cloned into the phitmp kernel");
     }
 }

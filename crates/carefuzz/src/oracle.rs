@@ -1,0 +1,593 @@
+//! The differential oracle: run one program through every engine pair that
+//! must agree, and report the first disagreement.
+//!
+//! Pairs (ISSUE 5 tentpole):
+//! 1. **RoundTrip** — `display` → `parser` → `display` is a fixpoint and the
+//!    reparse verifies.
+//! 2. **FastSlow** — the interpreter's monomorphized hook-free fast loop vs
+//!    the hooked slow loop (an inert empty `BreakSet` forces it), compared at
+//!    *every* fuel budget on short programs and a dense sample on long ones:
+//!    exit state, step/trap accounting and all output globals must match.
+//! 3. **OptLevels** — the `opt` pipeline must preserve semantics: IR interp
+//!    and SimISA machine at O0 and O1 all agree on result + output globals.
+//! 4. **Trellis** — the snapshot-trellis campaign scheduler is record-level
+//!    identical to the per-injection engine on the same seed.
+//! 5. **Kernel** — the paper §4 claim: every Armor recovery kernel, executed
+//!    inline at its protected access during a fault-free run, recomputes
+//!    exactly the address the access is about to use.
+//! 6. **Liveness** — the §3.2 terminal-value rule: every `Die` kernel
+//!    parameter is live (per `analysis::liveness`) at the faulting
+//!    instruction or folded into its machine address operand.
+
+use crate::spec::{build, ProgramSpec};
+use analysis::{Cfg, Liveness};
+use armor::{run_armor, ArmorOutput, ParamSpec, RecoveryKey};
+use care::{BuildStats, CompiledApp};
+use faultsim::{Campaign, CampaignConfig, Scheduler};
+use opt::OptLevel;
+use simx::{compile_module, BreakSet, MachineModule, Process, RunExit};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tinyir::interp::{layout_globals, Interp};
+use tinyir::mem::{Memory, PagedMemory};
+use tinyir::{
+    display::print_module, parser::parse_module, verify::verify_module, Callee, CastOp, FuncId,
+    Global, GlobalInit, ICmp, Instr, InstrId, InstrKind, Module, Ty, Value,
+};
+use workloads::Workload;
+
+/// Which engine pair disagreed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pair {
+    /// print → parse → print fixpoint.
+    RoundTrip,
+    /// Fast interpreter loop vs hooked slow loop.
+    FastSlow,
+    /// Unoptimized vs `opt`-pipeline execution (interp + machine, O0 + O1).
+    OptLevels,
+    /// Trellis vs per-injection campaign records.
+    Trellis,
+    /// Armor kernel address vs fault-free ground truth.
+    Kernel,
+    /// Armor terminal-value liveness invariant.
+    Liveness,
+}
+
+impl std::fmt::Display for Pair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One oracle disagreement.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Which pair disagreed.
+    pub pair: Pair,
+    /// The `main` argument under which it manifested.
+    pub arg: u64,
+    /// Human-readable discrepancy.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:?} @ arg={}] {}", self.pair, self.arg, self.detail)
+    }
+}
+
+/// Interp memory layout (matches `tests/properties.rs`).
+const GLOBAL_BASE: u64 = 0x1000_0000;
+const STACK_BASE: u64 = 0x7f00_0000_0000;
+const STACK_LIMIT: u64 = STACK_BASE + 0x0100_0000;
+const HEAP_BASE: u64 = 0x6000_0000_0000;
+const INTERP_FUEL: u64 = 50_000_000;
+/// Machine full-run fuel cap (generated programs are counted-loop bounded;
+/// this is a safety net, not a hang oracle).
+const MACHINE_FUEL: u64 = 10_000_000;
+
+/// `main` arguments each program is exercised under.
+pub const ORACLE_ARGS: [u64; 3] = [0, 3, 11];
+
+/// Check a spec across all pairs and arguments. Returns the first
+/// divergence.
+pub fn check_spec(spec: &ProgramSpec) -> Option<Divergence> {
+    let m = build(spec);
+    check_module(&m, spec.seed)
+}
+
+/// Check an already-built module (also the `tests/regressions/` replay entry
+/// point — reproducers are stored as `.tir` text and come back through the
+/// parser). `salt` diversifies campaign seeds between programs.
+pub fn check_module(m: &Module, salt: u64) -> Option<Divergence> {
+    if let Some(d) = roundtrip_check(m) {
+        return Some(d);
+    }
+    // Compile both levels once; armor once.
+    let mm0 = Arc::new(compile_module(m, false, &[]));
+    let mut oir = m.clone();
+    opt::optimize(&mut oir, OptLevel::O1);
+    let armor_out = run_armor(&oir);
+    let mm1 = Arc::new(compile_module(&oir, true, &armor_out.die_requests));
+    let outputs = output_globals(m);
+
+    if let Some(d) = liveness_check(&oir, &armor_out) {
+        return Some(d);
+    }
+
+    for &arg in &ORACLE_ARGS {
+        // Pair 2 first: it tolerates (and must agree on) trapping programs.
+        for mm in [&mm0, &mm1] {
+            if let Some(d) = fast_slow_check(mm, arg, &outputs, salt) {
+                return Some(d);
+            }
+        }
+        // The remaining pairs need a fault-free golden run.
+        let golden = run_machine(&mm0, arg, MACHINE_FUEL, false, &outputs);
+        if !matches!(golden.exit, RunExit::Done(_)) {
+            continue;
+        }
+        if let Some(d) = opt_levels_check(m, &oir, &mm0, &mm1, arg, &outputs) {
+            return Some(d);
+        }
+        if let Some(d) = kernel_probe_check(&oir, &armor_out, arg) {
+            return Some(d);
+        }
+    }
+
+    // Pair 4 once per program (campaigns pick their own injection points).
+    let arg = ORACLE_ARGS[1];
+    let golden = run_machine(&mm0, arg, MACHINE_FUEL, false, &outputs);
+    if matches!(golden.exit, RunExit::Done(_)) {
+        if let Some(d) = trellis_check(m, &oir, &armor_out, &mm1, arg, &outputs, salt) {
+            return Some(d);
+        }
+    }
+    None
+}
+
+/// Output regions: every generated global array.
+fn output_globals(m: &Module) -> Vec<(String, u64)> {
+    m.globals
+        .iter()
+        .map(|g| (g.name.clone(), g.count as u64 * g.elem_ty.size() as u64))
+        .collect()
+}
+
+// ---------------------------------------------------------------- pair 1 --
+
+fn roundtrip_check(m: &Module) -> Option<Divergence> {
+    let t1 = print_module(m);
+    let reparsed = match parse_module(&t1) {
+        Ok(p) => p,
+        Err(e) => {
+            return Some(Divergence {
+                pair: Pair::RoundTrip,
+                arg: 0,
+                detail: format!("printed module does not parse: {e}"),
+            })
+        }
+    };
+    if let Err(e) = verify_module(&reparsed) {
+        return Some(Divergence {
+            pair: Pair::RoundTrip,
+            arg: 0,
+            detail: format!("reparsed module does not verify: {e}"),
+        });
+    }
+    let t2 = print_module(&reparsed);
+    if t1 != t2 {
+        let at = t1
+            .lines()
+            .zip(t2.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("line {}: {a:?} vs {b:?}", i + 1))
+            .unwrap_or_else(|| "length mismatch".into());
+        return Some(Divergence {
+            pair: Pair::RoundTrip,
+            arg: 0,
+            detail: format!("print→parse→print not a fixpoint at {at}"),
+        });
+    }
+    None
+}
+
+// ---------------------------------------------------------------- pair 2 --
+
+/// Everything observable about one machine run.
+#[derive(Clone, PartialEq, Debug)]
+struct RunState {
+    exit: RunExit,
+    steps: u64,
+    fuel_left: u64,
+    trap_count: u64,
+    globals: Vec<Vec<u8>>,
+}
+
+fn run_machine(
+    mm: &Arc<MachineModule>,
+    arg: u64,
+    fuel: u64,
+    slow: bool,
+    outputs: &[(String, u64)],
+) -> RunState {
+    let mut p = Process::new(Arc::clone(mm), vec![]);
+    p.start("main", &[arg]);
+    p.fuel = fuel;
+    if slow {
+        // An empty breakpoint set never fires but forces the hooked loop.
+        p.multi_break = Some(BreakSet::new());
+    }
+    let exit = p.run();
+    let globals = outputs
+        .iter()
+        .map(|(name, bytes)| p.snapshot_global(name, *bytes).unwrap_or_default())
+        .collect();
+    RunState { exit, steps: p.steps, fuel_left: p.fuel, trap_count: p.trap_count, globals }
+}
+
+fn fast_slow_check(
+    mm: &Arc<MachineModule>,
+    arg: u64,
+    outputs: &[(String, u64)],
+    salt: u64,
+) -> Option<Divergence> {
+    let full = run_machine(mm, arg, MACHINE_FUEL, false, outputs);
+    let total = full.steps;
+    let budgets: Vec<u64> = if total <= 256 {
+        (0..=total + 1).collect()
+    } else {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(salt ^ total ^ arg);
+        let mut v: Vec<u64> = vec![0, 1, 2, total - 2, total - 1, total, total + 1];
+        v.extend((0..24).map(|_| rng.gen_range(3..total.saturating_sub(2))));
+        v
+    };
+    for b in budgets {
+        let fast = run_machine(mm, arg, b, false, outputs);
+        let slow = run_machine(mm, arg, b, true, outputs);
+        if fast != slow {
+            return Some(Divergence {
+                pair: Pair::FastSlow,
+                arg,
+                detail: format!(
+                    "fuel budget {b}: fast {:?} (steps {}, traps {}) vs slow {:?} (steps {}, traps {})",
+                    fast.exit, fast.steps, fast.trap_count, slow.exit, slow.steps, slow.trap_count
+                ),
+            });
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------- pair 3 --
+
+fn run_interp(m: &Module, arg: u64, outputs: &[(String, u64)]) -> Result<RunState, String> {
+    let mut mem = PagedMemory::new();
+    let gaddrs = layout_globals(m, &mut mem, GLOBAL_BASE);
+    let main = m.func_by_name("main").ok_or("no main")?;
+    let (ret, steps) = {
+        let mut it = Interp::new(m, &mut mem, &gaddrs, STACK_BASE, STACK_LIMIT, HEAP_BASE, INTERP_FUEL);
+        let ret = it.call(main, &[arg]).map_err(|e| format!("interp fault: {e:?}"))?;
+        (ret, it.steps)
+    };
+    let mut globals = Vec::with_capacity(outputs.len());
+    for (name, bytes) in outputs {
+        let gid = m.global_by_name(name).ok_or("missing global")?;
+        let base = gaddrs[gid.0 as usize];
+        let mut buf = Vec::with_capacity(*bytes as usize);
+        let mut off = 0u64;
+        while off < *bytes {
+            let w = mem.load(base + off, 1).map_err(|e| format!("{e:?}"))?;
+            buf.push(w as u8);
+            off += 1;
+        }
+        globals.push(buf);
+    }
+    Ok(RunState {
+        exit: RunExit::Done(ret),
+        steps,
+        fuel_left: 0,
+        trap_count: 0,
+        globals,
+    })
+}
+
+fn opt_levels_check(
+    m: &Module,
+    oir: &Module,
+    mm0: &Arc<MachineModule>,
+    mm1: &Arc<MachineModule>,
+    arg: u64,
+    outputs: &[(String, u64)],
+) -> Option<Divergence> {
+    let diverge = |engine: &str, detail: String| {
+        Some(Divergence { pair: Pair::OptLevels, arg, detail: format!("{engine}: {detail}") })
+    };
+    let i0 = match run_interp(m, arg, outputs) {
+        Ok(r) => r,
+        Err(e) => return diverge("interp O0", e),
+    };
+    let i1 = match run_interp(oir, arg, outputs) {
+        Ok(r) => r,
+        Err(e) => return diverge("interp O1", e),
+    };
+    let m0 = run_machine(mm0, arg, MACHINE_FUEL, false, outputs);
+    let m1 = run_machine(mm1, arg, MACHINE_FUEL, false, outputs);
+    let engines = [("interp O0", &i0), ("interp O1", &i1), ("machine O0", &m0), ("machine O1", &m1)];
+    for (name, r) in &engines[1..] {
+        if r.exit != i0.exit {
+            return diverge(name, format!("result {:?}, expected {:?}", r.exit, i0.exit));
+        }
+        if r.globals != i0.globals {
+            let which = outputs
+                .iter()
+                .zip(i0.globals.iter().zip(r.globals.iter()))
+                .find(|(_, (a, b))| a != b)
+                .map(|((n, _), _)| n.clone())
+                .unwrap_or_default();
+            return diverge(name, format!("output global {which} differs from interp O0"));
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------- pair 4 --
+
+fn trellis_check(
+    m: &Module,
+    oir: &Module,
+    armor_out: &ArmorOutput,
+    mm1: &Arc<MachineModule>,
+    arg: u64,
+    outputs: &[(String, u64)],
+    salt: u64,
+) -> Option<Divergence> {
+    let _ = oir;
+    let out_refs: Vec<(&str, u64)> = outputs.iter().map(|(n, b)| (n.as_str(), *b)).collect();
+    let w = Workload::new("fuzz", m.clone(), vec![arg], out_refs);
+    let app = CompiledApp {
+        machine: Arc::clone(mm1),
+        armor: armor_out.clone(),
+        opt_level: OptLevel::O1,
+        build: BuildStats::default(),
+    };
+    let campaign = Campaign::prepare(&w, app, vec![]);
+    let cfg = CampaignConfig {
+        injections: 6,
+        evaluate_care: true,
+        app_only: true,
+        keep_records: true,
+        seed: salt.wrapping_mul(0x9E37_79B9).wrapping_add(arg),
+        ..CampaignConfig::default()
+    };
+    let trellis = campaign.run(&CampaignConfig { scheduler: Scheduler::Trellis, ..cfg });
+    let legacy = campaign.run(&CampaignConfig { scheduler: Scheduler::PerInjection, ..cfg });
+    if trellis.records != legacy.records {
+        let detail = trellis
+            .records
+            .iter()
+            .zip(legacy.records.iter())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("injection {i}: trellis {a:?} vs per-injection {b:?}"))
+            .unwrap_or_else(|| {
+                format!("{} vs {} records", trellis.records.len(), legacy.records.len())
+            });
+        return Some(Divergence { pair: Pair::Trellis, arg, detail });
+    }
+    None
+}
+
+// ------------------------------------------------------------- pairs 5+6 --
+
+/// One instrumentable protected access: the first access (in Armor's own
+/// iteration order) carrying each recovery key, in the function whose values
+/// the kernel's DIE parameters refer to.
+struct ProbeSite {
+    fid: usize,
+    access: InstrId,
+    /// Index of this site's counter slot in the probe global.
+    slot: usize,
+    /// Kernel function id *within the kernel module*.
+    kernel: FuncId,
+    /// Call arguments resolved to app-function values.
+    args: Vec<Value>,
+}
+
+/// Locate every probe site. Mirrors `run_armor`'s iteration exactly so each
+/// table entry is matched to the access its kernel was extracted from.
+fn probe_sites(oir: &Module, out: &ArmorOutput) -> Vec<ProbeSite> {
+    let by_name: HashMap<&str, &simx::DieRequest> =
+        out.die_requests.iter().map(|r| (r.name.as_str(), r)).collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut sites = Vec::new();
+    for (fi, f) in oir.funcs.iter().enumerate() {
+        if f.is_decl {
+            continue;
+        }
+        for access in f.mem_access_instrs() {
+            let Some(loc) = f.instr(access).loc else { continue };
+            let key = RecoveryKey::for_loc(oir, loc);
+            if !seen.insert(key) {
+                continue; // only the first access per key owns the kernel
+            }
+            let Some(entry) = out.table.lookup(&key) else { continue };
+            let mut args = Vec::with_capacity(entry.params.len());
+            let mut ok = true;
+            for spec in &entry.params {
+                match spec {
+                    ParamSpec::GlobalAddr { name } => match oir.global_by_name(name) {
+                        Some(g) => args.push(Value::Global(g)),
+                        None => ok = false,
+                    },
+                    ParamSpec::Die { name } => match by_name.get(name.as_str()) {
+                        Some(r) if r.func.0 as usize == fi => args.push(r.value),
+                        _ => ok = false, // kernel belongs to another function
+                    },
+                    // Constants never become parameters (extraction folds
+                    // them); skip defensively if one ever appears.
+                    ParamSpec::Const(_) => ok = false,
+                }
+            }
+            if ok {
+                sites.push(ProbeSite {
+                    fid: fi,
+                    access,
+                    slot: sites.len(),
+                    kernel: entry.kernel,
+                    args,
+                });
+            }
+        }
+    }
+    sites
+}
+
+/// Pair 5: clone the optimized module, append the kernel library, and insert
+/// before every protected access: `probe[slot] += (kernel(args) != addr)`.
+/// A fault-free run must leave every probe slot at zero — the kernel
+/// recomputes exactly the address the access uses (paper §4).
+fn kernel_probe_check(oir: &Module, out: &ArmorOutput, arg: u64) -> Option<Divergence> {
+    let sites = probe_sites(oir, out);
+    if sites.is_empty() {
+        return None;
+    }
+    let mut pm = oir.clone();
+    let kernel_base = pm.funcs.len();
+    for kf in &out.kernel_module.funcs {
+        pm.add_func(kf.clone());
+    }
+    let probe_gid = pm.add_global(Global {
+        name: "care_probe".into(),
+        elem_ty: Ty::I64,
+        count: sites.len() as u32,
+        init: GlobalInit::Zero,
+    });
+
+    for site in &sites {
+        let f = &mut pm.funcs[site.fid];
+        let Some(addr) = f.instr(site.access).addr_operand() else { continue };
+        let kfid = FuncId((kernel_base + site.kernel.0 as usize) as u32);
+        // Append the probe instructions to the arena, then splice their ids
+        // into the block right before the access.
+        let base_id = f.instrs.len() as u32;
+        let id = |k: u32| Value::Instr(InstrId(base_id + k));
+        let new_instrs = [
+            InstrKind::Call {
+                callee: Callee::Func(kfid),
+                args: site.args.clone(),
+                ret_ty: Some(Ty::Ptr),
+            },
+            InstrKind::Icmp { pred: ICmp::Ne, lhs: id(0), rhs: addr },
+            InstrKind::Cast { op: CastOp::Zext, val: id(1), to: Ty::I64 },
+            InstrKind::Gep {
+                base: Value::Global(probe_gid),
+                index: Value::i64(site.slot as i64),
+                elem_size: 8,
+            },
+            InstrKind::Load { ptr: id(3), ty: Ty::I64 },
+            InstrKind::Bin { op: tinyir::BinOp::Add, lhs: id(4), rhs: id(2), ty: Ty::I64 },
+            InstrKind::Store { val: id(5), ptr: id(3) },
+        ];
+        for kind in new_instrs {
+            f.instrs.push(Instr::new(kind));
+        }
+        let (bidx, pos) = f
+            .blocks
+            .iter()
+            .enumerate()
+            .find_map(|(bi, b)| {
+                b.instrs.iter().position(|&i| i == site.access).map(|p| (bi, p))
+            })
+            .expect("access is in some block");
+        let ids: Vec<InstrId> = (0..7).map(|k| InstrId(base_id + k)).collect();
+        f.blocks[bidx].instrs.splice(pos..pos, ids);
+    }
+    pm.rebuild_indexes();
+    if let Err(e) = verify_module(&pm) {
+        return Some(Divergence {
+            pair: Pair::Kernel,
+            arg,
+            detail: format!("probe instrumentation does not verify: {e}"),
+        });
+    }
+
+    let outputs = vec![("care_probe".to_string(), sites.len() as u64 * 8)];
+    match run_interp(&pm, arg, &outputs) {
+        Ok(state) => {
+            let probe = &state.globals[0];
+            for site in &sites {
+                let off = site.slot * 8;
+                let count = u64::from_le_bytes(probe[off..off + 8].try_into().unwrap());
+                if count != 0 {
+                    let f = &oir.funcs[site.fid];
+                    return Some(Divergence {
+                        pair: Pair::Kernel,
+                        arg,
+                        detail: format!(
+                            "kernel for {} access {:?} in @{} recomputed a wrong address {count} time(s)",
+                            site.slot, site.access, f.name
+                        ),
+                    });
+                }
+            }
+            None
+        }
+        Err(e) => Some(Divergence {
+            pair: Pair::Kernel,
+            arg,
+            detail: format!("instrumented run faulted (kernels must be transparent): {e}"),
+        }),
+    }
+}
+
+/// Pair 6 (satellite): the terminal-value invariant. Every `Die` parameter's
+/// IR value is live at the protected access per `analysis::liveness`, or is
+/// folded into the access's own machine address operand (gep + operands),
+/// or is materialised storage (alloca).
+pub fn liveness_check(oir: &Module, out: &ArmorOutput) -> Option<Divergence> {
+    let sites = probe_sites(oir, out);
+    let mut lv_cache: HashMap<usize, Liveness> = HashMap::new();
+    for site in &sites {
+        let f = &oir.funcs[site.fid];
+        let lv = lv_cache
+            .entry(site.fid)
+            .or_insert_with(|| Liveness::compute(f, &Cfg::new(f)));
+        // Values folded into the access's address mode are operands of the
+        // faulting instruction itself, live by construction.
+        let mut folded = std::collections::HashSet::new();
+        if let Some(addr) = f.instr(site.access).addr_operand() {
+            folded.insert(addr);
+            if let Value::Instr(g) = addr {
+                if let InstrKind::Gep { base, index, .. } = f.instr(g).kind {
+                    folded.insert(base);
+                    folded.insert(index);
+                }
+            }
+        }
+        for v in &site.args {
+            let live = match v {
+                Value::Instr(id) => {
+                    folded.contains(v)
+                        || matches!(f.instr(*id).kind, InstrKind::Alloca { .. })
+                        || lv.value_live_at(*v, site.access)
+                }
+                Value::Arg(_) => true,
+                _ => true,
+            };
+            if !live {
+                return Some(Divergence {
+                    pair: Pair::Liveness,
+                    arg: 0,
+                    detail: format!(
+                        "kernel param {v:?} for access {:?} in @{} is not live at the access",
+                        site.access, oir.funcs[site.fid].name
+                    ),
+                });
+            }
+        }
+    }
+    None
+}

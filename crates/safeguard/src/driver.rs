@@ -219,6 +219,89 @@ mod tests {
         }
     }
 
+    /// A table entry naming a kernel the library does not contain (a dlsym
+    /// miss) must decline with `KernelMissing`, not panic the handler.
+    #[test]
+    fn missing_kernel_symbol_declines() {
+        let (m, armor_out) = out_of_bounds_app();
+        let mut broken = armor_out.clone();
+        let mut t2 = armor::RecoveryTable::new();
+        for (k, e) in armor_out.table.iter() {
+            t2.insert(
+                *k,
+                armor::TableEntry {
+                    symbol: e.symbol.clone(),
+                    kernel: tinyir::FuncId(9999),
+                    params: e.params.clone(),
+                },
+            );
+        }
+        broken.table = t2;
+        let mm = compile_module(&m, false, &broken.die_requests);
+        let mut p = Process::new(mm, vec![]);
+        p.start("main", &[5]);
+        let mut sg = Safeguard::new();
+        sg.protect(ModuleId(0), &broken);
+        match run_protected(&mut p, &mut sg, 4) {
+            ProtectedExit::Crashed { reason, .. } => {
+                assert!(
+                    matches!(reason, DeclineReason::KernelMissing(_)),
+                    "{reason:?}"
+                );
+            }
+            other => panic!("must crash with a typed decline: {other:?}"),
+        }
+    }
+
+    /// A table entry whose parameter list disagrees with the kernel's arity
+    /// is a corrupted artefact: decline with `BadTable`.
+    #[test]
+    fn param_arity_mismatch_declines() {
+        let (m, armor_out) = out_of_bounds_app();
+        let mut broken = armor_out.clone();
+        let mut t2 = armor::RecoveryTable::new();
+        for (k, e) in armor_out.table.iter() {
+            let mut params = e.params.clone();
+            params.push(armor::ParamSpec::Const(0)); // one extra arg
+            t2.insert(
+                *k,
+                armor::TableEntry {
+                    symbol: e.symbol.clone(),
+                    kernel: e.kernel,
+                    params,
+                },
+            );
+        }
+        broken.table = t2;
+        let mm = compile_module(&m, false, &broken.die_requests);
+        let mut p = Process::new(mm, vec![]);
+        p.start("main", &[5]);
+        let mut sg = Safeguard::new();
+        sg.protect(ModuleId(0), &broken);
+        match run_protected(&mut p, &mut sg, 4) {
+            ProtectedExit::Crashed { reason, .. } => {
+                assert!(matches!(reason, DeclineReason::BadTable(_)), "{reason:?}");
+            }
+            other => panic!("must crash with a typed decline: {other:?}"),
+        }
+    }
+
+    /// A module whose table-indexed app faults at an address computation:
+    /// arr[n*1000] for n=5 is far out of the 8-element global.
+    fn out_of_bounds_app() -> (tinyir::Module, armor::ArmorOutput) {
+        let mut mb = ModuleBuilder::new("app", "app.c");
+        let g = mb.global_zeroed("arr", Ty::I64, 8);
+        mb.define("main", vec![Ty::I64], Some(Ty::I64), |fb| {
+            let idx = fb.mul(fb.arg(0), Value::i64(1000), Ty::I64);
+            let v = fb.load_elem(fb.global(g), idx, Ty::I64);
+            fb.ret(Some(v));
+        });
+        let m = mb.finish();
+        let out = run_armor(&m);
+        assert!(out.stats.num_kernels >= 1);
+        (m, out)
+    }
+
     /// Faults in an unprotected signal class (SIGFPE) propagate.
     #[test]
     fn non_segv_traps_propagate() {

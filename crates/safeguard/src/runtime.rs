@@ -49,6 +49,9 @@ pub enum DeclineReason {
     NoKernelForKey(String),
     /// The recovery table failed to decode (corrupted artefact).
     BadTable(String),
+    /// The table names a kernel the recovery library does not contain
+    /// (payload: the kernel symbol) — a `dlsym` miss in the real runtime.
+    KernelMissing(String),
     /// A parameter's location list has no entry covering the faulting PC —
     /// the value was optimised away or its register was reused.
     ParamUnavailable(String),
@@ -77,6 +80,7 @@ impl DeclineReason {
             DeclineReason::NoLineInfo => DeclineKind::NoLineInfo,
             DeclineReason::NoKernelForKey(_) => DeclineKind::NoKernelForKey,
             DeclineReason::BadTable(_) => DeclineKind::BadTable,
+            DeclineReason::KernelMissing(_) => DeclineKind::KernelMissing,
             DeclineReason::ParamUnavailable(_) => DeclineKind::ParamUnavailable,
             DeclineReason::ParamFetchFault => DeclineKind::ParamFetchFault,
             DeclineReason::KernelFault => DeclineKind::KernelFault,
@@ -104,6 +108,8 @@ pub enum DeclineKind {
     NoKernelForKey,
     /// See [`DeclineReason::BadTable`].
     BadTable,
+    /// See [`DeclineReason::KernelMissing`].
+    KernelMissing,
     /// See [`DeclineReason::ParamUnavailable`].
     ParamUnavailable,
     /// See [`DeclineReason::ParamFetchFault`].
@@ -124,13 +130,14 @@ pub enum DeclineKind {
 impl DeclineKind {
     /// All kinds, in declaration order (stable iteration for reports — a
     /// `HashMap<DeclineKind, _>` has no useful order of its own).
-    pub const ALL: [DeclineKind; 13] = [
+    pub const ALL: [DeclineKind; 14] = [
         DeclineKind::NotASegv,
         DeclineKind::UnknownPc,
         DeclineKind::UnprotectedModule,
         DeclineKind::NoLineInfo,
         DeclineKind::NoKernelForKey,
         DeclineKind::BadTable,
+        DeclineKind::KernelMissing,
         DeclineKind::ParamUnavailable,
         DeclineKind::ParamFetchFault,
         DeclineKind::KernelFault,
@@ -150,6 +157,7 @@ impl DeclineKind {
             DeclineKind::NoLineInfo => "recovery.decline.NoLineInfo",
             DeclineKind::NoKernelForKey => "recovery.decline.NoKernelForKey",
             DeclineKind::BadTable => "recovery.decline.BadTable",
+            DeclineKind::KernelMissing => "recovery.decline.KernelMissing",
             DeclineKind::ParamUnavailable => "recovery.decline.ParamUnavailable",
             DeclineKind::ParamFetchFault => "recovery.decline.ParamFetchFault",
             DeclineKind::KernelFault => "recovery.decline.KernelFault",
@@ -416,8 +424,12 @@ impl Safeguard {
             return NotRecovered(DeclineReason::UnprotectedModule);
         };
 
-        // (3) PC -> (file, line, col) key.
-        let lm = &process.image.modules[mid.0 as usize];
+        // (3) PC -> (file, line, col) key. `dladdr` answered for this module
+        // id, but a hostile/stale trap context could still name a module the
+        // image does not hold — treat that like a wild PC, not a panic.
+        let Some(lm) = process.image.modules.get(mid.0 as usize) else {
+            return NotRecovered(DeclineReason::UnknownPc);
+        };
         let Some(loc) = lm.module.debug.loc_for_offset(offset) else {
             return NotRecovered(DeclineReason::NoLineInfo);
         };
@@ -442,12 +454,35 @@ impl Safeguard {
             )));
         };
 
-        // (5) dlopen + dlsym.
+        // (5) dlopen + dlsym. A table entry naming a kernel the library does
+        // not define (or only declares) is a dlsym miss: decline, don't
+        // panic in the arena lookup below.
+        let kfid = entry.kernel;
+        match prot.kernel_module.funcs.get(kfid.0 as usize) {
+            None => return NotRecovered(DeclineReason::KernelMissing(entry.symbol.clone())),
+            Some(f) if f.is_decl => {
+                return NotRecovered(DeclineReason::KernelMissing(entry.symbol.clone()))
+            }
+            Some(f) if f.params.len() != entry.params.len() => {
+                return NotRecovered(DeclineReason::BadTable(format!(
+                    "entry for {} passes {} params, kernel takes {}",
+                    entry.symbol,
+                    entry.params.len(),
+                    f.params.len()
+                )));
+            }
+            Some(_) => {}
+        }
         time.load_ms += self.cost.dlopen_base_ms
             + prot.kernel_count as f64 * self.cost.dlopen_per_kernel_ms
             + self.cost.dlsym_ms;
 
-        // (6) Fetch parameters via DWARF locations.
+        // (6) Fetch parameters via DWARF locations. A process with no live
+        // frame has no registers to read from (trap delivered before main
+        // ran, or after the last frame popped): nothing to repair.
+        if process.frames.is_empty() {
+            return NotRecovered(DeclineReason::UnknownPc);
+        }
         let fp = process.read_reg(FP);
         let mut args = Vec::with_capacity(entry.params.len());
         for spec in &entry.params {

@@ -26,14 +26,21 @@ pub fn value_str(v: Value) -> String {
         Value::Arg(i) => format!("%a{i}"),
         Value::Global(g) => format!("@g{}", g.0),
         Value::ConstInt(x, t) => format!("{t} {x}"),
-        Value::ConstFloat(x, t) => format!("{t} {}", fmt_float(x)),
+        Value::ConstFloat(x, t) => format!("{t} {}", fmt_float(x, t)),
         Value::ConstNull => "null".to_string(),
     }
 }
 
-fn fmt_float(x: f64) -> String {
-    // Hex bit pattern preserves exact values through round-trips.
-    format!("0fx{:016x}", x.to_bits())
+fn fmt_float(x: f64, t: crate::types::Ty) -> String {
+    // Hex bit pattern preserves exact values through round-trips. The width
+    // must match the type: the parser decodes `f32 0fx…` as 32 f32 bits, so
+    // printing the carrier f64's 64-bit pattern here would corrupt every f32
+    // constant on a round trip (found by the carefuzz print→parse oracle).
+    if t == crate::types::Ty::F32 {
+        format!("0fx{:08x}", (x as f32).to_bits())
+    } else {
+        format!("0fx{:016x}", x.to_bits())
+    }
 }
 
 /// Render one instruction (without the leading result binding).
@@ -228,5 +235,27 @@ mod tests {
             value_str(Value::f64(1.0)),
             format!("f64 0fx{:016x}", 1.0f64.to_bits())
         );
+    }
+
+    #[test]
+    fn f32_constants_print_f32_bit_patterns() {
+        // An f32 constant must print the 32-bit pattern the parser decodes
+        // (`0fx` + 8 hex digits), not the bits of its f64 carrier.
+        assert_eq!(
+            value_str(Value::f32(0.1)),
+            format!("f32 0fx{:08x}", 0.1f32.to_bits())
+        );
+        // Round trip through the parser preserves the exact value.
+        let printed = value_str(Value::f32(0.1));
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        mb.define("f", vec![], Some(Ty::F32), |fb| {
+            let s = fb.fadd(Value::f32(0.1), Value::f32(0.0), Ty::F32);
+            fb.ret(Some(s));
+        });
+        let m = mb.finish();
+        let t1 = print_module(&m);
+        assert!(t1.contains(&printed), "{t1}");
+        let parsed = crate::parser::parse_module(&t1).unwrap();
+        assert_eq!(t1, print_module(&parsed), "f32 constants must round-trip");
     }
 }

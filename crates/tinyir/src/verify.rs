@@ -110,10 +110,14 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
     }
 
     // -- per-instruction operand checks ------------------------------------
+    // These run for *every* block, reachable or not: downstream passes
+    // (liveness, codegen, printing) walk all blocks, so ill-formed operands
+    // in unreachable code would still index out of range or type-confuse
+    // them. Only the dominance analysis below is restricted to reachable
+    // blocks, where dominators are well-defined.
     for (bid, block) in f.block_iter() {
-        if !reachable.contains(&bid) {
-            continue;
-        }
+        let reach = reachable.contains(&bid);
+        let mut seen_in_block: HashSet<InstrId> = HashSet::new();
         for &iid in &block.instrs {
             let instr = f.instr(iid);
             for v in instr.operands() {
@@ -132,7 +136,20 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                         }
                     _ => {}
                 }
+                // In unreachable blocks dominators are undefined, so the
+                // dominance pass below skips them; still reject the local
+                // use-before-def shape, which needs only block positions.
+                if !reach {
+                    if let Value::Instr(d) = v {
+                        if block.instrs.contains(&d) && !seen_in_block.contains(&d) {
+                            return err(format!(
+                                "{iid} in unreachable {bid} uses {d} before its definition"
+                            ));
+                        }
+                    }
+                }
             }
+            seen_in_block.insert(iid);
             check_types(m, f, iid)?;
             if let InstrKind::Phi { incomings, .. } = &f.instr(iid).kind {
                 let mut ps: Vec<BlockId> =
@@ -455,6 +472,138 @@ mod tests {
         m.add_func(f);
         let err = verify_module(&m).unwrap_err();
         assert!(err.msg.contains("phi missing incoming"), "{err}");
+    }
+
+    /// Build `f() -> i64` with a reachable entry that just returns, plus one
+    /// unreachable block whose instructions come from `fill`.
+    fn with_unreachable_block(fill: impl FnOnce(&mut Function, BlockId)) -> Module {
+        let mut m = Module::new("m");
+        let mut f = Function::new("f", vec![Ty::I64], Some(Ty::I64));
+        let e = f.entry();
+        f.push_instr(e, Instr::new(InstrKind::Ret { val: Some(Value::i64(0)) }));
+        let dead = f.add_block("dead");
+        fill(&mut f, dead);
+        m.add_func(f);
+        m
+    }
+
+    #[test]
+    fn accepts_wellformed_unreachable_block() {
+        let m = with_unreachable_block(|f, bb| {
+            f.push_instr(
+                bb,
+                Instr::new(InstrKind::Bin {
+                    op: BinOp::Add,
+                    lhs: Value::Arg(0),
+                    rhs: Value::i64(1),
+                    ty: Ty::I64,
+                }),
+            );
+            f.push_instr(bb, Instr::new(InstrKind::Ret { val: Some(Value::i64(1)) }));
+        });
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_range_arg_in_unreachable_block() {
+        // Before the all-blocks operand check this passed verification and
+        // then panicked Liveness::compute, which walks every block and
+        // indexes arguments by `n_instrs + argno`.
+        let m = with_unreachable_block(|f, bb| {
+            f.push_instr(
+                bb,
+                Instr::new(InstrKind::Bin {
+                    op: BinOp::Add,
+                    lhs: Value::Arg(7),
+                    rhs: Value::i64(1),
+                    ty: Ty::I64,
+                }),
+            );
+            f.push_instr(bb, Instr::new(InstrKind::Ret { val: Some(Value::i64(1)) }));
+        });
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("out-of-range arg"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_global_in_unreachable_block() {
+        let m = with_unreachable_block(|f, bb| {
+            f.push_instr(
+                bb,
+                Instr::new(InstrKind::Load {
+                    ptr: Value::Global(crate::GlobalId(3)),
+                    ty: Ty::I64,
+                }),
+            );
+            f.push_instr(bb, Instr::new(InstrKind::Ret { val: Some(Value::i64(1)) }));
+        });
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("out-of-range global"), "{err}");
+    }
+
+    #[test]
+    fn rejects_use_before_def_in_unreachable_block() {
+        let m = with_unreachable_block(|f, bb| {
+            // %v1 = add %v2, 1 ; %v2 = add 1, 1 — same-block use before def.
+            f.push_instr(
+                bb,
+                Instr::new(InstrKind::Bin {
+                    op: BinOp::Add,
+                    lhs: Value::Instr(InstrId(2)),
+                    rhs: Value::i64(1),
+                    ty: Ty::I64,
+                }),
+            );
+            f.push_instr(
+                bb,
+                Instr::new(InstrKind::Bin {
+                    op: BinOp::Add,
+                    lhs: Value::i64(1),
+                    rhs: Value::i64(1),
+                    ty: Ty::I64,
+                }),
+            );
+            f.push_instr(bb, Instr::new(InstrKind::Ret { val: Some(Value::i64(1)) }));
+        });
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("before its definition"), "{err}");
+    }
+
+    #[test]
+    fn rejects_type_mismatch_in_unreachable_block() {
+        let m = with_unreachable_block(|f, bb| {
+            f.push_instr(
+                bb,
+                Instr::new(InstrKind::Bin {
+                    op: BinOp::FAdd,
+                    lhs: Value::i64(1),
+                    rhs: Value::i64(1),
+                    ty: Ty::I64,
+                }),
+            );
+            f.push_instr(bb, Instr::new(InstrKind::Ret { val: Some(Value::i64(1)) }));
+        });
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("float-ness"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_phi_incomings_in_unreachable_block() {
+        let m = with_unreachable_block(|f, bb| {
+            f.push_instr(
+                bb,
+                Instr::new(InstrKind::Phi {
+                    incomings: vec![
+                        (BlockId(0), Value::i64(1)),
+                        (BlockId(0), Value::i64(2)),
+                    ],
+                    ty: Ty::I64,
+                }),
+            );
+            f.push_instr(bb, Instr::new(InstrKind::Ret { val: Some(Value::i64(1)) }));
+        });
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("duplicate phi incoming"), "{err}");
     }
 
     #[test]

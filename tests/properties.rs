@@ -241,4 +241,22 @@ proptest! {
             other => prop_assert!(false, "unexpected exit: {:?}", other),
         }
     }
+
+    /// Armor's terminal-value invariant (paper §3.2): every extracted kernel
+    /// parameter is live per `analysis::liveness` at the faulting
+    /// instruction — or is materialised storage / folded into the access's
+    /// own machine address operand. A parameter that fails this may sit in a
+    /// reused register at recovery time and feed garbage into the kernel.
+    /// Uses the carefuzz generator, whose programs are much gnarlier (real
+    /// diamonds, nested loops, inlined helpers) than this file's.
+    #[test]
+    fn armor_kernel_params_are_live_at_the_access(seed in 0u64..2048) {
+        let spec = carefuzz::spec::ProgramSpec::generate(seed);
+        let mut oir = carefuzz::spec::build(&spec);
+        opt::optimize(&mut oir, OptLevel::O1);
+        let out = armor::run_armor(&oir);
+        if let Some(d) = carefuzz::oracle::liveness_check(&oir, &out) {
+            prop_assert!(false, "seed {}: {}", seed, d);
+        }
+    }
 }
