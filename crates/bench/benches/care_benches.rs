@@ -164,6 +164,21 @@ fn bench_campaign_throughput(c: &mut Criterion) {
                 b.iter(|| campaign.run(&cfg))
             });
         }
+        // The compiled direct-threaded backend on the same injection set:
+        // the delta vs `trellis/*` above is pure execution-engine speedup
+        // (records are bit-identical; see tests/golden.rs).
+        let cfg = CampaignConfig {
+            injections: 50,
+            evaluate_care: true,
+            app_only: true,
+            seed: 7,
+            scheduler: Scheduler::Trellis,
+            engine: faultsim::EngineKind::Compiled,
+            ..CampaignConfig::default()
+        };
+        g.bench_function(format!("compiled/{}", w.name), |b| {
+            b.iter(|| campaign.run(&cfg))
+        });
         // The observability claim: a live telemetry recorder must cost ≤2%
         // on end-to-end campaign throughput (compare against trellis above;
         // the NoTelemetry path above is the 0%-regression baseline).
@@ -192,6 +207,19 @@ fn bench_campaign_throughput(c: &mut Criterion) {
             b.iter_batched(
                 || template.clone(),
                 |mut p| match p.run() {
+                    RunExit::Done(_) => p.steps,
+                    other => panic!("fault-free run failed: {other:?}"),
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        // Same run on the compiled engine — the microbenchmark behind the
+        // compiled/raw_interp campaign-level ratio.
+        let engine = simx::CompiledEngine::for_image(&template.image);
+        g.bench_function(format!("raw_compiled/{}", w.name), |b| {
+            b.iter_batched(
+                || template.clone(),
+                |mut p| match simx::ExecutionEngine::run(&engine, &mut p) {
                     RunExit::Done(_) => p.steps,
                     other => panic!("fault-free run failed: {other:?}"),
                 },

@@ -25,7 +25,7 @@ use bench::{
 };
 use cluster::{simulate_fault_free, simulate_faulty, simulate_faulty_traced, ClusterConfig,
     Resilience};
-use faultsim::{CampaignConfig, CampaignReport, FaultModel};
+use faultsim::{CampaignConfig, CampaignReport, EngineKind, FaultModel};
 use opt::OptLevel;
 use std::collections::HashMap;
 use telemetry::{NoTelemetry, Recorder};
@@ -35,6 +35,7 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     telemetry: Option<std::path::PathBuf>,
+    engine: EngineKind,
     experiments: Vec<String>,
 }
 
@@ -43,6 +44,7 @@ fn parse_args() -> Args {
     let mut seed = 0xCA2E;
     let mut threads = None;
     let mut telemetry = None;
+    let mut engine = None;
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -67,9 +69,16 @@ fn parse_args() -> Args {
             "--telemetry" => {
                 telemetry = Some(it.next().expect("--telemetry OUT.jsonl").into());
             }
+            "--engine" => {
+                engine = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--engine interp|compiled"),
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--injections N] [--seed S] [--threads N] [--telemetry OUT.jsonl] [table2|table3|table4|table5|table8|table9|table10|table11|fig7|fig9|fig10|fig12|declines|bench-json|all]..."
+                    "usage: repro [--injections N] [--seed S] [--threads N] [--engine interp|compiled] [--telemetry OUT.jsonl] [table2|table3|table4|table5|table8|table9|table10|table11|fig7|fig9|fig10|fig12|declines|bench-json|all]..."
                 );
                 std::process::exit(0);
             }
@@ -79,6 +88,14 @@ fn parse_args() -> Args {
     if telemetry.is_none() {
         telemetry = std::env::var_os("CARE_TELEMETRY").map(Into::into);
     }
+    // CLI wins; then the CARE_ENGINE env var; then the interpreter.
+    let engine = engine
+        .or_else(|| {
+            std::env::var("CARE_ENGINE")
+                .ok()
+                .map(|v| v.parse().expect("CARE_ENGINE=interp|compiled"))
+        })
+        .unwrap_or_default();
     if experiments.is_empty() {
         experiments.push("all".into());
     }
@@ -92,7 +109,7 @@ fn parse_args() -> Args {
             std::process::exit(2);
         }
     }
-    Args { injections, seed, threads, telemetry, experiments }
+    Args { injections, seed, threads, telemetry, engine, experiments }
 }
 
 /// §2-style campaign, routed through the global recorder when telemetry is
@@ -103,11 +120,12 @@ fn run_manifest(
     inj: usize,
     model: FaultModel,
     seed: u64,
+    engine: EngineKind,
     rec: Option<&Recorder>,
 ) -> CampaignReport {
     match rec {
-        Some(r) => manifestation_campaign_traced(p, inj, model, seed, r),
-        None => manifestation_campaign_traced(p, inj, model, seed, &NoTelemetry),
+        Some(r) => manifestation_campaign_traced(p, inj, model, seed, engine, r),
+        None => manifestation_campaign_traced(p, inj, model, seed, engine, &NoTelemetry),
     }
 }
 
@@ -117,11 +135,12 @@ fn run_coverage(
     inj: usize,
     model: FaultModel,
     seed: u64,
+    engine: EngineKind,
     rec: Option<&Recorder>,
 ) -> CampaignReport {
     match rec {
-        Some(r) => coverage_campaign_traced(p, inj, model, seed, r),
-        None => coverage_campaign_traced(p, inj, model, seed, &NoTelemetry),
+        Some(r) => coverage_campaign_traced(p, inj, model, seed, engine, r),
+        None => coverage_campaign_traced(p, inj, model, seed, engine, &NoTelemetry),
     }
 }
 
@@ -130,104 +149,138 @@ fn run_coverage(
 /// the measurements to `BENCH_campaign.json` in the current directory
 /// (hand-rolled JSON; the container has no serde).
 ///
-/// Schema v2 ([`BENCH_SCHEMA_VERSION`]): each campaign runs under its own
-/// telemetry [`Recorder`], and the rows carry the drained measurements —
-/// decline histograms, software-TLB hit rates and the measured
-/// recovery-preparation fraction — next to the throughput numbers.
+/// Schema v3 ([`BENCH_SCHEMA_VERSION`]): each campaign runs under its own
+/// telemetry [`Recorder`], every workload is measured once per execution
+/// backend (interpreter, then the compiled direct-threaded translator at the
+/// same seed and thread count), and the rows carry the drained measurements —
+/// decline histograms, software-TLB hit rates, the measured
+/// recovery-preparation fraction and the compiled-vs-interp speedup — next
+/// to the throughput numbers.
 fn bench_json(injections: usize, seed: u64) {
     use std::fmt::Write as _;
     use std::time::Instant;
     eprintln!(
-        "[repro] timing CARE coverage campaigns ({injections} injections/workload)..."
+        "[repro] timing CARE coverage campaigns ({injections} injections/workload, both engines)..."
     );
     let mut entries = Vec::new();
     // Suite-wide accumulators for the top-level "telemetry" section.
+    // Recovery/TLB work is engine-independent (records are bit-identical),
+    // so accumulate from the interpreter rows only.
     let (mut all_act, mut all_over98) = (0u64, 0u64);
     let (mut all_prep_sum, mut all_prep_count) = (0u64, 0u64);
     let (mut all_acc, mut all_miss) = (0u64, 0u64);
     for w in section2_workloads() {
         let p = prepare(&w, OptLevel::O1);
-        let rec = Recorder::new();
-        let t0 = Instant::now();
-        let r = coverage_campaign_traced(&p, injections, FaultModel::SingleBit, seed, &rec);
-        let wall_s = t0.elapsed().as_secs_f64();
-        let tel = rec.drain();
-        let ctr = |n: &str| tel.counters.get(n).copied().unwrap_or(0);
-        let (loads, stores) = (ctr("tlb.loads"), ctr("tlb.stores"));
-        let misses = ctr("tlb.read_misses") + ctr("tlb.write_misses");
-        let accesses = loads + stores;
-        let hit_rate = if accesses == 0 {
-            1.0
-        } else {
-            (accesses - misses) as f64 / accesses as f64
-        };
-        let prep = tel.hists.get("recovery.prep_bp");
-        let prep_mean = prep.map_or(0.0, |h| h.mean() / 10_000.0);
-        let prep_min = prep.map_or(0.0, |h| h.min() as f64 / 10_000.0);
-        all_act += ctr("recovery.activations");
-        all_over98 += ctr("recovery.prep_over_98pct");
-        all_prep_sum += prep.map_or(0, |h| h.sum());
-        all_prep_count += prep.map_or(0, |h| h.count());
-        all_acc += accesses;
-        all_miss += misses;
-        let declines = decline_rows(&r)
-            .iter()
-            .map(|(k, n)| format!("\"{k}\": {n}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        let mut e = String::new();
-        write!(
-            e,
-            "    {{\n      \"workload\": \"{}\",\n      \"opt_level\": \"O1\",\n      \
-             \"injections\": {},\n      \"classified\": {},\n      \
-             \"care_evaluated\": {},\n      \"care_covered\": {},\n      \
-             \"wall_s\": {:.6},\n      \"injections_per_sec\": {:.2},\n      \
-             \"simulated_instructions\": {},\n      \
-             \"simulated_instructions_per_sec\": {:.0},\n      \
-             \"sim_steps_prefix\": {},\n      \"sim_steps_suffix\": {},\n      \
-             \"sim_steps_care\": {},\n      \"trellis_snapshots\": {},\n      \
-             \"declines\": {{{}}},\n      \
-             \"tlb\": {{\"loads\": {}, \"stores\": {}, \"read_misses\": {}, \
-             \"write_misses\": {}, \"hit_rate\": {:.6}}},\n      \
-             \"recovery\": {{\"activations\": {}, \"recovered\": {}, \
-             \"prep_fraction_mean\": {:.4}, \
-             \"prep_fraction_min\": {:.4}, \"prep_over_98pct\": {}}}\n    }}",
-            p.name,
-            injections,
-            r.total(),
-            r.care_evaluated,
-            r.care_covered,
-            wall_s,
-            injections as f64 / wall_s,
-            r.simulated_steps,
-            r.simulated_steps as f64 / wall_s,
-            r.steps_prefix,
-            r.steps_suffix,
-            r.steps_care,
-            r.trellis_snapshots,
-            declines,
-            loads,
-            stores,
-            ctr("tlb.read_misses"),
-            ctr("tlb.write_misses"),
-            hit_rate,
-            ctr("recovery.activations"),
-            ctr("recovery.recovered"),
-            prep_mean,
-            prep_min,
-            ctr("recovery.prep_over_98pct"),
-        )
-        .unwrap();
-        eprintln!(
-            "[repro]   {}: {:.2} injections/sec, {:.2e} simulated instrs/sec, \
-             TLB hit rate {:.4}, prep fraction {:.4}",
-            p.name,
-            injections as f64 / wall_s,
-            r.simulated_steps as f64 / wall_s,
-            hit_rate,
-            prep_mean,
-        );
-        entries.push(e);
+        let mut interp_ips = 0.0f64;
+        for engine in [EngineKind::Interp, EngineKind::Compiled] {
+            let rec = Recorder::new();
+            let t0 = Instant::now();
+            let r = coverage_campaign_traced(
+                &p,
+                injections,
+                FaultModel::SingleBit,
+                seed,
+                engine,
+                &rec,
+            );
+            let wall_s = t0.elapsed().as_secs_f64();
+            let tel = rec.drain();
+            let ctr = |n: &str| tel.counters.get(n).copied().unwrap_or(0);
+            let (loads, stores) = (ctr("tlb.loads"), ctr("tlb.stores"));
+            let misses = ctr("tlb.read_misses") + ctr("tlb.write_misses");
+            let accesses = loads + stores;
+            let hit_rate = if accesses == 0 {
+                1.0
+            } else {
+                (accesses - misses) as f64 / accesses as f64
+            };
+            let prep = tel.hists.get("recovery.prep_bp");
+            let prep_mean = prep.map_or(0.0, |h| h.mean() / 10_000.0);
+            let prep_min = prep.map_or(0.0, |h| h.min() as f64 / 10_000.0);
+            let instr_per_sec = r.simulated_steps as f64 / wall_s;
+            let speedup = match engine {
+                EngineKind::Interp => {
+                    interp_ips = instr_per_sec;
+                    String::new()
+                }
+                EngineKind::Compiled => {
+                    format!(
+                        "      \"speedup_vs_interp\": {:.2},\n",
+                        instr_per_sec / interp_ips.max(1e-9)
+                    )
+                }
+            };
+            if engine == EngineKind::Interp {
+                all_act += ctr("recovery.activations");
+                all_over98 += ctr("recovery.prep_over_98pct");
+                all_prep_sum += prep.map_or(0, |h| h.sum());
+                all_prep_count += prep.map_or(0, |h| h.count());
+                all_acc += accesses;
+                all_miss += misses;
+            }
+            let declines = decline_rows(&r)
+                .iter()
+                .map(|(k, n)| format!("\"{k}\": {n}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let mut e = String::new();
+            write!(
+                e,
+                "    {{\n      \"workload\": \"{}\",\n      \"opt_level\": \"O1\",\n      \
+                 \"engine\": \"{}\",\n      \
+                 \"injections\": {},\n      \"classified\": {},\n      \
+                 \"care_evaluated\": {},\n      \"care_covered\": {},\n      \
+                 \"wall_s\": {:.6},\n      \"injections_per_sec\": {:.2},\n      \
+                 \"simulated_instructions\": {},\n      \
+                 \"simulated_instructions_per_sec\": {:.0},\n{}      \
+                 \"sim_steps_prefix\": {},\n      \"sim_steps_suffix\": {},\n      \
+                 \"sim_steps_care\": {},\n      \"trellis_snapshots\": {},\n      \
+                 \"declines\": {{{}}},\n      \
+                 \"tlb\": {{\"loads\": {}, \"stores\": {}, \"read_misses\": {}, \
+                 \"write_misses\": {}, \"hit_rate\": {:.6}}},\n      \
+                 \"recovery\": {{\"activations\": {}, \"recovered\": {}, \
+                 \"prep_fraction_mean\": {:.4}, \
+                 \"prep_fraction_min\": {:.4}, \"prep_over_98pct\": {}}}\n    }}",
+                p.name,
+                engine.name(),
+                injections,
+                r.total(),
+                r.care_evaluated,
+                r.care_covered,
+                wall_s,
+                injections as f64 / wall_s,
+                r.simulated_steps,
+                instr_per_sec,
+                speedup,
+                r.steps_prefix,
+                r.steps_suffix,
+                r.steps_care,
+                r.trellis_snapshots,
+                declines,
+                loads,
+                stores,
+                ctr("tlb.read_misses"),
+                ctr("tlb.write_misses"),
+                hit_rate,
+                ctr("recovery.activations"),
+                ctr("recovery.recovered"),
+                prep_mean,
+                prep_min,
+                ctr("recovery.prep_over_98pct"),
+            )
+            .unwrap();
+            eprintln!(
+                "[repro]   {} [{}]: {:.2} injections/sec, {:.2e} simulated instrs/sec, \
+                 TLB hit rate {:.4}, prep fraction {:.4}",
+                p.name,
+                engine.name(),
+                injections as f64 / wall_s,
+                instr_per_sec,
+                hit_rate,
+                prep_mean,
+            );
+            entries.push(e);
+        }
     }
     let suite_prep = if all_prep_count == 0 {
         0.0
@@ -292,7 +345,7 @@ fn main() {
                     .iter()
                     .map(|w| {
                         let p = prepare(w, OptLevel::O0);
-                        let r = run_manifest(&p, inj, FaultModel::SingleBit, seed, rec);
+                        let r = run_manifest(&p, inj, FaultModel::SingleBit, seed, args.engine, rec);
                         (p, r)
                     })
                     .collect(),
@@ -419,7 +472,7 @@ fn main() {
             for w in section5_workloads() {
                 for level in [OptLevel::O0, OptLevel::O1] {
                     let p = prepare(&w, level);
-                    let r = run_coverage(&p, inj, FaultModel::SingleBit, seed, rec);
+                    let r = run_coverage(&p, inj, FaultModel::SingleBit, seed, args.engine, rec);
                     all.push((w.name.to_string(), level.to_string(), r));
                 }
             }
@@ -561,6 +614,7 @@ fn main() {
             evaluate_care: true,
             app_only: false, // faults may land in the library too
             seed: args.seed,
+            engine: args.engine,
             ..CampaignConfig::default()
         };
         let r = match rec {
@@ -600,7 +654,7 @@ fn main() {
                     .iter()
                     .map(|w| {
                         let p = prepare(w, OptLevel::O0);
-                        let r = run_manifest(&p, inj, FaultModel::DoubleBit, seed, rec);
+                        let r = run_manifest(&p, inj, FaultModel::DoubleBit, seed, args.engine, rec);
                         (p.name.to_string(), r)
                     })
                     .collect(),
@@ -654,7 +708,7 @@ fn main() {
         for w in section5_workloads() {
             for level in [OptLevel::O0, OptLevel::O1] {
                 let p = prepare(&w, level);
-                let r = run_coverage(&p, args.injections, FaultModel::DoubleBit, args.seed, rec);
+                let r = run_coverage(&p, args.injections, FaultModel::DoubleBit, args.seed, args.engine, rec);
                 t.row(vec![
                     w.name.to_string(),
                     level.to_string(),

@@ -7,7 +7,7 @@
 //! underlying operations (Armor pass, recovery path, campaign throughput).
 
 use care::CompiledApp;
-use faultsim::{Campaign, CampaignConfig, CampaignReport, FaultModel};
+use faultsim::{Campaign, CampaignConfig, CampaignReport, EngineKind, FaultModel};
 use opt::OptLevel;
 use telemetry::{Hooks, NoTelemetry};
 use workloads::Workload;
@@ -19,7 +19,11 @@ use workloads::Workload;
 /// * v2 — adds `schema_version`, per-workload decline histograms, TLB hit
 ///   rates and the measured recovery-preparation fraction (all sourced from
 ///   the telemetry subsystem).
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// * v3 — each row carries an `engine` field (`interp` | `compiled`); every
+///   workload is emitted once per execution backend, and compiled rows add
+///   `speedup_vs_interp` (simulated-instructions/s ratio at identical seed,
+///   thread count and step counts).
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Rows of a formatted text table.
 pub struct Table {
@@ -103,16 +107,17 @@ pub fn manifestation_campaign(
     model: FaultModel,
     seed: u64,
 ) -> CampaignReport {
-    manifestation_campaign_traced(prepared, injections, model, seed, &NoTelemetry)
+    manifestation_campaign_traced(prepared, injections, model, seed, EngineKind::Interp, &NoTelemetry)
 }
 
-/// [`manifestation_campaign`] with a telemetry hook sink. With
-/// [`NoTelemetry`] this monomorphizes to exactly the plain campaign.
+/// [`manifestation_campaign`] with an execution backend and a telemetry hook
+/// sink. With [`NoTelemetry`] this monomorphizes to exactly the plain campaign.
 pub fn manifestation_campaign_traced<H: Hooks>(
     prepared: &PreparedWorkload,
     injections: usize,
     model: FaultModel,
     seed: u64,
+    engine: EngineKind,
     hooks: &H,
 ) -> CampaignReport {
     prepared.campaign.run_with_hooks(
@@ -122,6 +127,7 @@ pub fn manifestation_campaign_traced<H: Hooks>(
             seed,
             evaluate_care: false,
             app_only: false,
+            engine,
             ..CampaignConfig::default()
         },
         hooks,
@@ -136,15 +142,16 @@ pub fn coverage_campaign(
     model: FaultModel,
     seed: u64,
 ) -> CampaignReport {
-    coverage_campaign_traced(prepared, injections, model, seed, &NoTelemetry)
+    coverage_campaign_traced(prepared, injections, model, seed, EngineKind::Interp, &NoTelemetry)
 }
 
-/// [`coverage_campaign`] with a telemetry hook sink.
+/// [`coverage_campaign`] with an execution backend and a telemetry hook sink.
 pub fn coverage_campaign_traced<H: Hooks>(
     prepared: &PreparedWorkload,
     injections: usize,
     model: FaultModel,
     seed: u64,
+    engine: EngineKind,
     hooks: &H,
 ) -> CampaignReport {
     prepared.campaign.run_with_hooks(
@@ -154,6 +161,7 @@ pub fn coverage_campaign_traced<H: Hooks>(
             seed,
             evaluate_care: true,
             app_only: true,
+            engine,
             ..CampaignConfig::default()
         },
         hooks,

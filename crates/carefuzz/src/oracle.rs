@@ -18,6 +18,10 @@
 //! 6. **Liveness** — the §3.2 terminal-value rule: every `Die` kernel
 //!    parameter is live (per `analysis::liveness`) at the faulting
 //!    instruction or folded into its machine address operand.
+//! 7. **Compiled** — the direct-threaded compiled engine vs the
+//!    interpreter's fast loop, at every fuel budget on short programs and a
+//!    dense sample on long ones: exit state, step/fuel/trap accounting and
+//!    all output globals must match bit for bit.
 
 use crate::spec::{build, ProgramSpec};
 use analysis::{Cfg, Liveness};
@@ -51,6 +55,8 @@ pub enum Pair {
     Kernel,
     /// Armor terminal-value liveness invariant.
     Liveness,
+    /// Compiled direct-threaded engine vs interpreter fast loop.
+    Compiled,
 }
 
 impl std::fmt::Display for Pair {
@@ -116,9 +122,13 @@ pub fn check_module(m: &Module, salt: u64) -> Option<Divergence> {
     }
 
     for &arg in &ORACLE_ARGS {
-        // Pair 2 first: it tolerates (and must agree on) trapping programs.
+        // Pairs 2 and 7 first: they tolerate (and must agree on) trapping
+        // programs.
         for mm in [&mm0, &mm1] {
             if let Some(d) = fast_slow_check(mm, arg, &outputs, salt) {
+                return Some(d);
+            }
+            if let Some(d) = compiled_check(mm, arg, &outputs, salt) {
                 return Some(d);
             }
         }
@@ -254,6 +264,80 @@ fn fast_slow_check(
                 detail: format!(
                     "fuel budget {b}: fast {:?} (steps {}, traps {}) vs slow {:?} (steps {}, traps {})",
                     fast.exit, fast.steps, fast.trap_count, slow.exit, slow.steps, slow.trap_count
+                ),
+            });
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------- pair 7 --
+
+/// Run `main(arg)` on the compiled direct-threaded engine and capture the
+/// same observable state as [`run_machine`].
+fn run_compiled(
+    engine: &simx::CompiledEngine,
+    mm: &Arc<MachineModule>,
+    arg: u64,
+    fuel: u64,
+    outputs: &[(String, u64)],
+) -> RunState {
+    use simx::ExecutionEngine;
+    let mut p = Process::new(Arc::clone(mm), vec![]);
+    p.start("main", &[arg]);
+    p.fuel = fuel;
+    let exit = engine.run(&mut p);
+    let globals = outputs
+        .iter()
+        .map(|(name, bytes)| p.snapshot_global(name, *bytes).unwrap_or_default())
+        .collect();
+    RunState { exit, steps: p.steps, fuel_left: p.fuel, trap_count: p.trap_count, globals }
+}
+
+/// Pair 7: the compiled engine must be indistinguishable from the
+/// interpreter fast loop at *every* fuel budget — same exhaustive/sampled
+/// budget scheme as [`fast_slow_check`], so partial segments, mid-fusion
+/// out-of-fuel exits and trap freezes are all exercised.
+fn compiled_check(
+    mm: &Arc<MachineModule>,
+    arg: u64,
+    outputs: &[(String, u64)],
+    salt: u64,
+) -> Option<Divergence> {
+    let engine = {
+        let p = Process::new(Arc::clone(mm), vec![]);
+        simx::CompiledEngine::for_image(&p.image)
+    };
+    let full = run_machine(mm, arg, MACHINE_FUEL, false, outputs);
+    let total = full.steps;
+    let budgets: Vec<u64> = if total <= 256 {
+        (0..=total + 1).collect()
+    } else {
+        use rand::{Rng, SeedableRng};
+        let mut rng =
+            rand::rngs::SmallRng::seed_from_u64(salt ^ total.rotate_left(17) ^ arg);
+        let mut v: Vec<u64> = vec![0, 1, 2, total - 2, total - 1, total, total + 1];
+        v.extend((0..24).map(|_| rng.gen_range(3..total.saturating_sub(2))));
+        v
+    };
+    for b in budgets {
+        let interp = run_machine(mm, arg, b, false, outputs);
+        let compiled = run_compiled(&engine, mm, arg, b, outputs);
+        if interp != compiled {
+            return Some(Divergence {
+                pair: Pair::Compiled,
+                arg,
+                detail: format!(
+                    "fuel budget {b}: interp {:?} (steps {}, fuel {}, traps {}) vs \
+                     compiled {:?} (steps {}, fuel {}, traps {})",
+                    interp.exit,
+                    interp.steps,
+                    interp.fuel_left,
+                    interp.trap_count,
+                    compiled.exit,
+                    compiled.steps,
+                    compiled.fuel_left,
+                    compiled.trap_count
                 ),
             });
         }

@@ -24,9 +24,12 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use safeguard::{
-    run_protected_with_hooks, DeclineKind, ProtectedExit, RecoveryIndex, Safeguard,
+    run_protected_engine_with_hooks, DeclineKind, ProtectedExit, RecoveryIndex, Safeguard,
 };
-use simx::{BreakSet, ModuleId, Process, Profile, RunExit, TrapKind};
+use simx::{
+    BreakSet, CompiledEngine, EngineKind, ExecutionEngine, InterpEngine, ModuleId, Process,
+    Profile, RunExit, TrapKind,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 use telemetry::{timed, Event, Hooks, NoTelemetry};
@@ -168,6 +171,10 @@ pub struct CampaignConfig {
     pub keep_records: bool,
     /// Which campaign engine to use (records are identical either way).
     pub scheduler: Scheduler,
+    /// Execution backend for the hot suffix/CARE runs (records are
+    /// bit-identical on either; `Compiled` is the direct-threaded
+    /// translator behind [`simx::ExecutionEngine`]).
+    pub engine: EngineKind,
 }
 
 impl Default for CampaignConfig {
@@ -184,6 +191,7 @@ impl Default for CampaignConfig {
             skip_equality_guard: false,
             keep_records: false,
             scheduler: Scheduler::Trellis,
+            engine: EngineKind::Interp,
         }
     }
 }
@@ -314,6 +322,7 @@ impl Campaign {
         point: InjectionPoint,
         rng: &SmallRng,
         mut p: Process,
+        engine: &dyn ExecutionEngine,
         hooks: &H,
     ) -> Option<InjectionRecord> {
         let t0 = H::ENABLED.then(std::time::Instant::now);
@@ -331,7 +340,7 @@ impl Campaign {
             }
             return None;
         }
-        let (outcome, latency) = match p.run() {
+        let (outcome, latency) = match engine.run(&mut p) {
             RunExit::Done(_) => {
                 if self.outputs_clean(&p) {
                     (Outcome::Benign, None)
@@ -362,7 +371,8 @@ impl Campaign {
                 let mut sg = Safeguard::with_index(Arc::clone(&self.recovery));
                 sg.patch_base_first = cfg.patch_base_first;
                 sg.skip_equality_guard = cfg.skip_equality_guard;
-                let care = match run_protected_with_hooks(
+                let care = match run_protected_engine_with_hooks(
+                    engine,
                     &mut p,
                     &mut sg,
                     cfg.max_recoveries,
@@ -441,13 +451,23 @@ impl Campaign {
     /// Run one injection end-to-end, re-simulating its prefix
     /// (deterministic in `(cfg.seed, index)`).
     pub fn run_one(&self, cfg: &CampaignConfig, index: usize) -> Option<InjectionRecord> {
-        self.run_one_with_hooks(cfg, index, &NoTelemetry)
+        let compiled = self.compiled_engine(cfg);
+        self.run_one_with_hooks(cfg, index, engine_ref(&compiled), &NoTelemetry)
+    }
+
+    /// Construct the configured compiled engine for this campaign's image
+    /// (`None` → interpreter). Translation hits the process-wide cache, so
+    /// repeated campaigns over the same module pay it once.
+    fn compiled_engine(&self, cfg: &CampaignConfig) -> Option<CompiledEngine> {
+        (cfg.engine == EngineKind::Compiled)
+            .then(|| CompiledEngine::for_image(&self.template.image))
     }
 
     fn run_one_with_hooks<H: Hooks>(
         &self,
         cfg: &CampaignConfig,
         index: usize,
+        engine: &dyn ExecutionEngine,
         hooks: &H,
     ) -> Option<InjectionRecord> {
         let (point, rng) = self.sample_point(cfg, index)?;
@@ -461,15 +481,20 @@ impl Campaign {
             // unreachable for deterministic programs; be safe anyway.
             _ => return None,
         }
-        self.run_suffix(cfg, point, &rng, p, hooks)
+        self.run_suffix(cfg, point, &rng, p, engine, hooks)
     }
 
     /// The per-injection scheduler: rayon-parallel `run_one` calls, each
     /// re-simulating its own prefix.
-    fn run_per_injection<H: Hooks>(&self, cfg: &CampaignConfig, hooks: &H) -> CampaignReport {
+    fn run_per_injection<H: Hooks>(
+        &self,
+        cfg: &CampaignConfig,
+        engine: &dyn ExecutionEngine,
+        hooks: &H,
+    ) -> CampaignReport {
         let records: Vec<InjectionRecord> = (0..cfg.injections)
             .into_par_iter()
-            .filter_map(|i| self.run_one_with_hooks(cfg, i, hooks))
+            .filter_map(|i| self.run_one_with_hooks(cfg, i, engine, hooks))
             .collect();
         CampaignReport::from_records(records)
     }
@@ -477,7 +502,12 @@ impl Campaign {
     /// The snapshot-trellis scheduler: sample all points up front, advance
     /// one instrumented cursor through the program, CoW-fork a snapshot at
     /// each distinct firing point, then run only the suffixes in parallel.
-    fn run_trellis<H: Hooks>(&self, cfg: &CampaignConfig, hooks: &H) -> CampaignReport {
+    fn run_trellis<H: Hooks>(
+        &self,
+        cfg: &CampaignConfig,
+        engine: &dyn ExecutionEngine,
+        hooks: &H,
+    ) -> CampaignReport {
         // Phase 1 — sampling. Same per-index RNG stream as `run_one`, so
         // every downstream bit-flip draw is identical.
         let samples: Vec<(InjectionPoint, SmallRng)> = timed(hooks, "trellis.sample_ns", || {
@@ -567,7 +597,7 @@ impl Campaign {
             .collect();
         let records: Vec<InjectionRecord> = timed(hooks, "trellis.suffixes_ns", || {
             jobs.into_par_iter()
-                .filter_map(|(point, rng, p)| self.run_suffix(cfg, point, &rng, p?, hooks))
+                .filter_map(|(point, rng, p)| self.run_suffix(cfg, point, &rng, p?, engine, hooks))
                 .collect()
         });
 
@@ -596,9 +626,30 @@ impl Campaign {
     /// campaign's TLB hit counters, instruction-mix counters derived from
     /// the golden profile, and the campaign-level step-split counters.
     pub fn run_with_hooks<H: Hooks>(&self, cfg: &CampaignConfig, hooks: &H) -> CampaignReport {
+        let compiled = if cfg.engine == EngineKind::Compiled {
+            let cache = simx::TranslationCache::global();
+            let (h0, m0) = (cache.hits(), cache.misses());
+            let eng = self.compiled_engine(cfg).expect("engine is Compiled");
+            if H::ENABLED {
+                hooks.add("engine.cache_hits", cache.hits().saturating_sub(h0));
+                hooks.add("engine.cache_misses", cache.misses().saturating_sub(m0));
+                let st = eng.stats();
+                hooks.add("engine.blocks", st.blocks);
+                hooks.add("engine.ops", st.ops);
+                hooks.add("engine.fused_cmp_br", st.fused_cmp_br);
+                hooks.add("engine.fused_load_bin", st.fused_load_bin);
+                hooks.add("engine.fused_lea_load", st.fused_lea_load);
+                hooks.add("engine.fused_glo_load", st.fused_glo_load);
+                hooks.add("engine.fused_mov_mov", st.fused_mov_mov);
+            }
+            Some(eng)
+        } else {
+            None
+        };
+        let engine = engine_ref(&compiled);
         let mut report = match cfg.scheduler {
-            Scheduler::Trellis => self.run_trellis(cfg, hooks),
-            Scheduler::PerInjection => self.run_per_injection(cfg, hooks),
+            Scheduler::Trellis => self.run_trellis(cfg, engine, hooks),
+            Scheduler::PerInjection => self.run_per_injection(cfg, engine, hooks),
         };
         if H::ENABLED {
             hooks.add("campaign.injections", cfg.injections as u64);
@@ -637,6 +688,15 @@ impl Campaign {
                 }
             }
         }
+    }
+}
+
+/// View an optional compiled engine as the trait object the schedulers
+/// thread through (`None` → the interpreter).
+fn engine_ref(compiled: &Option<CompiledEngine>) -> &dyn ExecutionEngine {
+    match compiled {
+        Some(c) => c,
+        None => &InterpEngine,
     }
 }
 

@@ -22,6 +22,7 @@ pub use campaign::{
     Signal, StepSplit,
 };
 pub use injector::{FaultModel, InjectedInto, InjectionPoint};
+pub use simx::EngineKind;
 
 #[cfg(test)]
 mod tests {

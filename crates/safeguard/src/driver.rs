@@ -56,10 +56,25 @@ pub fn run_protected_with_hooks<H: telemetry::Hooks>(
     max_recoveries: u64,
     hooks: &H,
 ) -> ProtectedExit {
+    run_protected_engine_with_hooks(&simx::InterpEngine, process, safeguard, max_recoveries, hooks)
+}
+
+/// [`run_protected_with_hooks`] with the simulation loop routed through an
+/// [`ExecutionEngine`](simx::ExecutionEngine), so campaigns can drive the
+/// protected path on the compiled backend. Trap handling is engine-agnostic:
+/// both engines freeze the faulting frame identically, so Safeguard's
+/// patch-and-resume works unchanged.
+pub fn run_protected_engine_with_hooks<H: telemetry::Hooks>(
+    engine: &dyn simx::ExecutionEngine,
+    process: &mut Process,
+    safeguard: &mut Safeguard,
+    max_recoveries: u64,
+    hooks: &H,
+) -> ProtectedExit {
     let mut recoveries = 0u64;
     let mut recovery_ms = 0.0f64;
     loop {
-        match process.run() {
+        match engine.run(process) {
             RunExit::Done(result) => {
                 return ProtectedExit::Completed { result, recoveries, recovery_ms }
             }

@@ -294,7 +294,7 @@ impl Process {
             .expect("initial frame");
     }
 
-    fn push_frame(
+    pub(crate) fn push_frame(
         &mut self,
         module: ModuleId,
         func: FuncId,
@@ -682,7 +682,7 @@ impl Process {
         step_out(break_hit)
     }
 
-    fn eval_intrinsic(
+    pub(crate) fn eval_intrinsic(
         &mut self,
         which: Intrinsic,
         args: &[u64],

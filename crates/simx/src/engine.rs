@@ -1,0 +1,588 @@
+//! Pluggable execution backends behind the [`ExecutionEngine`] trait.
+//!
+//! Two engines run a [`Process`]:
+//!
+//! * [`InterpEngine`] — the reference interpreter ([`Process::run`]),
+//!   unchanged.
+//! * [`CompiledEngine`] — the direct-threaded backend: executes the
+//!   pre-decoded/fused [`Op`] stream of a cached [`TranslatedModule`]
+//!   (see `translate.rs`) instead of re-decoding `MInst`s per step.
+//!
+//! # Equivalence contract
+//!
+//! The compiled engine is **bit-identical** to the interpreter's fast loop
+//! in every observable: exit value, trap kind and PC, `fuel`, `steps`,
+//! `trap_count`, registers, and memory (same `PagedMemory` hot path, so
+//! CoW/TLB behaviour — including the telemetry counters — is shared code).
+//! The per-step check order is replicated exactly: frame? → instruction
+//! fetch in bounds (wild PC traps *without* consuming fuel) → fuel (an
+//! exhausted budget traps without consuming) → charge `fuel`/`steps` →
+//! execute. Traps freeze `frame.idx` on the faulting instruction with its
+//! pre-fault registers; fused ops freeze mid-pair on their second index,
+//! which re-enters through that instruction's standalone translation.
+//!
+//! # Fuel at block granularity
+//!
+//! Per-instruction fuel checks are the dispatch overhead this backend
+//! exists to remove, but the budget must stay exact (hang classification
+//! and Table 4's latency buckets depend on it). The engine charges fuel per
+//! straight-line *segment*: at each segment entry it compares the remaining
+//! budget against the translation's precomputed steps-to-block-end
+//! ([`ste`](translate)); with enough fuel the segment body runs with the
+//! per-step zero-check compiled out, otherwise the same body runs in
+//! checked mode — the "interpreter fallback" for the final partial block,
+//! stopping on the exact instruction the interpreter would. In-function
+//! branches re-check the invariant *inline* (fuel against `ste[target]`):
+//! as long as it holds, whole loops run inside one unchecked dispatch loop
+//! without bouncing through the segment entry, and only the transition to
+//! the final partial block pays a re-entry.
+//!
+//! Profiling, `break_at` and `BreakSet` runs fall back to the interpreter
+//! wholesale (they are prepare/cursor paths, never the campaign hot path),
+//! which keeps breakpoint semantics trivially identical.
+
+use crate::cpu::{Frame, Process, RunExit, Trap, TrapKind};
+use crate::image::{LoadedModule, ModuleId, ProcessImage};
+use crate::isa::Reg;
+use crate::translate::{
+    Op, SrcK, TranslatedFunc, TranslatedModule, TranslateStats, TranslationCache, NO_REG,
+};
+use std::sync::Arc;
+use tinyir::interp::{eval_bin, eval_cast, eval_fcmp, eval_icmp, float_of_bits, sext_bits};
+use tinyir::mem::{MemFault, Memory, PagedMemory};
+use tinyir::{FuncId, Intrinsic};
+
+/// Which backend a campaign (or CLI) selects.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EngineKind {
+    /// The reference interpreter.
+    #[default]
+    Interp,
+    /// The direct-threaded translation backend.
+    Compiled,
+}
+
+impl EngineKind {
+    /// Stable CLI/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Interp => "interp",
+            EngineKind::Compiled => "compiled",
+        }
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<EngineKind, String> {
+        match s {
+            "interp" | "interpreter" => Ok(EngineKind::Interp),
+            "compiled" | "compile" => Ok(EngineKind::Compiled),
+            other => Err(format!("unknown engine {other:?} (expected interp|compiled)")),
+        }
+    }
+}
+
+/// A way to run a process to its next completion, trap or breakpoint.
+/// Object-safe so campaigns can thread one `&dyn` through their workers.
+pub trait ExecutionEngine: Send + Sync {
+    /// Stable engine name (telemetry and bench rows key on it).
+    fn name(&self) -> &'static str;
+    /// Run until completion, trap, or breakpoint; semantics of
+    /// [`Process::run`].
+    fn run(&self, p: &mut Process) -> RunExit;
+}
+
+/// The reference interpreter as an engine.
+pub struct InterpEngine;
+
+impl ExecutionEngine for InterpEngine {
+    fn name(&self) -> &'static str {
+        "interp"
+    }
+    fn run(&self, p: &mut Process) -> RunExit {
+        p.run()
+    }
+}
+
+/// The direct-threaded backend: one shared translation per loaded module,
+/// resolved through the global content-keyed [`TranslationCache`].
+pub struct CompiledEngine {
+    /// Translations indexed by [`ModuleId`].
+    trans: Vec<Arc<TranslatedModule>>,
+}
+
+impl CompiledEngine {
+    /// Resolve (or build) the translations for every module of an image.
+    /// Repeated calls for the same compiled app are cache hits — trellis
+    /// forks and campaign suffixes share one translation per module.
+    pub fn for_image(image: &ProcessImage) -> CompiledEngine {
+        let cache = TranslationCache::global();
+        CompiledEngine {
+            trans: image.modules.iter().map(|lm| cache.get_or_translate(&lm.module)).collect(),
+        }
+    }
+
+    /// Summed translation statistics across this engine's modules.
+    pub fn stats(&self) -> TranslateStats {
+        let mut s = TranslateStats::default();
+        for t in &self.trans {
+            s.merge(&t.stats);
+        }
+        s
+    }
+}
+
+impl ExecutionEngine for CompiledEngine {
+    fn name(&self) -> &'static str {
+        "compiled"
+    }
+
+    fn run(&self, p: &mut Process) -> RunExit {
+        if p.profile.is_some() || p.break_at.is_some() || p.multi_break.is_some() {
+            // Instrumented runs (golden profiling, injector breakpoints, the
+            // trellis cursor) stay on the interpreter's slow loop.
+            return p.run();
+        }
+        run_compiled(self, p)
+    }
+}
+
+/// Why a segment execution stopped.
+enum SegEvent {
+    /// Control transferred (or ran off the translation); `frame.idx` holds
+    /// the new PC — re-enter through the segment entry.
+    Redirect,
+    /// Trap; `frame.idx` frozen on the faulting instruction.
+    Trap(Trap),
+    /// A `Call` op: arguments evaluated, caller's `idx` already advanced.
+    Call { callee: u32, argv: Vec<u64>, dst: u8 },
+    /// A `CallIntr` op: arguments evaluated, `idx` *not* advanced (the
+    /// intrinsic may trap at this PC).
+    Intr { which: Intrinsic, argv: Vec<u64>, dst: u8 },
+    /// A `Ret` op with its (raw-bit) value.
+    Ret { val: Option<u64> },
+}
+
+fn run_compiled(eng: &CompiledEngine, p: &mut Process) -> RunExit {
+    let image = Arc::clone(&p.image);
+    // Like the interpreter's `run_loop`: carry the counters in locals and
+    // write them back on every exit, so trap states observe exact values.
+    let mut fuel = p.fuel;
+    let mut steps = p.steps;
+    let exit = loop {
+        // Resolve the (possibly new) top frame's translation.
+        let (mid, fid) = match p.frames.last() {
+            Some(f) => (f.module, f.func),
+            None => break RunExit::Done(None),
+        };
+        let tf = &eng.trans[mid.0 as usize].funcs[fid.0 as usize];
+        let lm = &image.modules[mid.0 as usize];
+        let Process { frames, mem, .. } = &mut *p;
+        let frame = frames.last_mut().expect("frame");
+        // Segment loop: each iteration runs one straight-line segment,
+        // choosing checked or unchecked fuel accounting by comparing the
+        // budget against the segment's precomputed step count.
+        let ev = loop {
+            let idx = frame.idx;
+            let Some(&need) = tf.ste.get(idx) else {
+                // Wild PC (corrupted control flow, or a declaration): the
+                // fetch fails before any fuel is consumed.
+                let pc = image.addr_of(mid, fid, idx);
+                break SegEvent::Trap(Trap { kind: TrapKind::Segv(pc), pc });
+            };
+            let ev = if fuel >= need as u64 {
+                exec_segment::<false>(frame, mem, lm, tf, &image, mid, fid, &mut fuel, &mut steps)
+            } else {
+                exec_segment::<true>(frame, mem, lm, tf, &image, mid, fid, &mut fuel, &mut steps)
+            };
+            match ev {
+                SegEvent::Redirect => continue,
+                other => break other,
+            }
+        };
+        match ev {
+            SegEvent::Redirect => unreachable!(),
+            SegEvent::Trap(t) => {
+                p.trap_count += 1;
+                break RunExit::Trapped(t);
+            }
+            SegEvent::Call { callee, argv, dst } => {
+                let dst = (dst != NO_REG).then_some(Reg(dst));
+                if let Err(t) = p.push_frame(mid, FuncId(callee), argv, dst) {
+                    p.trap_count += 1;
+                    break RunExit::Trapped(t);
+                }
+            }
+            SegEvent::Intr { which, argv, dst } => match p.eval_intrinsic(which, &argv) {
+                Ok(r) => {
+                    let frame = p.frames.last_mut().expect("frame");
+                    if dst != NO_REG {
+                        if let Some(v) = r {
+                            frame.regs[dst as usize] = v;
+                        }
+                    }
+                    frame.idx += 1;
+                }
+                Err(kind) => {
+                    // `frame.idx` still points at the CallIntr.
+                    let pc = p.pc();
+                    p.trap_count += 1;
+                    break RunExit::Trapped(Trap { kind, pc });
+                }
+            },
+            SegEvent::Ret { val } => {
+                let done = p.frames.len() == 1;
+                let popped = p.frames.pop().expect("frame");
+                p.sp = popped.saved_sp;
+                if done {
+                    break RunExit::Done(val);
+                }
+                if let (Some(d), Some(v)) = (popped.ret_dst, val) {
+                    let pl = p.frames.len() - 1;
+                    p.frames[pl].regs[d.0 as usize] = v;
+                }
+            }
+        }
+    };
+    p.fuel = fuel;
+    p.steps = steps;
+    exit
+}
+
+/// Execute pre-decoded ops from `frame.idx` until a call, return,
+/// intrinsic, trap, or a branch that breaks the mode invariant. `CHECKED`
+/// is a monomorphization constant: `false` when the caller proved
+/// `fuel >= ste[entry]` (the per-step fuel-zero check compiles out, and
+/// in-function branches keep running inline while `fuel >= ste[target]`),
+/// `true` for the final partial block (every sub-step re-checks, trapping
+/// `OutOfFuel` on the exact instruction the interpreter would).
+#[allow(clippy::too_many_arguments)]
+fn exec_segment<const CHECKED: bool>(
+    frame: &mut Frame,
+    mem: &mut PagedMemory,
+    lm: &LoadedModule,
+    tf: &TranslatedFunc,
+    image: &ProcessImage,
+    mid: ModuleId,
+    fid: FuncId,
+    fuel: &mut u64,
+    steps: &mut u64,
+) -> SegEvent {
+    // The dispatch index lives in a local; `frame.idx` is only written on
+    // the ways out (trap, call, intrinsic, control transfer, ran-off), not
+    // once per op. Every trap funnels through here, so "freeze `frame.idx`
+    // on the faulting instruction" holds by construction — including the
+    // mid-pair freezes of fused ops, which trap at `idx + 1`.
+    macro_rules! trap_at {
+        ($kind:expr, $idx:expr) => {{
+            let at = $idx;
+            frame.idx = at;
+            let pc = image.addr_of(mid, fid, at);
+            return SegEvent::Trap(Trap { kind: $kind, pc });
+        }};
+    }
+    macro_rules! memtrap {
+        ($e:expr, $idx:expr) => {{
+            let kind = match $e {
+                MemFault::Unmapped(a) => TrapKind::Segv(a),
+                MemFault::Misaligned(a) => TrapKind::Bus(a),
+            };
+            trap_at!(kind, $idx)
+        }};
+    }
+    // Evaluate a pre-decoded source operand; a folded memory operand may
+    // fault, freezing the instruction at `$idx`.
+    macro_rules! srck {
+        ($s:expr, $idx:expr) => {
+            match $s {
+                SrcK::Reg(r) => frame.regs[*r as usize],
+                SrcK::Imm(v) => *v,
+                SrcK::Mem(m, sz) => match mem.load(m.ea(&frame.regs), *sz as u32) {
+                    Ok(v) => v,
+                    Err(e) => memtrap!(e, $idx),
+                },
+                SrcK::Global(g) => lm.global_addrs[*g as usize],
+            }
+        };
+    }
+    // Charge the second sub-step of a fused pair (the first is charged at
+    // the loop head). In checked mode an exhausted budget freezes on the
+    // pair's second instruction (`trap_at` writes `frame.idx`).
+    macro_rules! charge_second {
+        ($idx:expr) => {{
+            if CHECKED && *fuel == 0 {
+                trap_at!(TrapKind::OutOfFuel, $idx + 1)
+            }
+            *fuel -= 1;
+            *steps += 1;
+        }};
+    }
+    let mut idx = frame.idx;
+    // Take an in-function branch without bouncing through the caller's
+    // segment loop, when the mode invariant still holds at the target:
+    // unchecked mode requires `fuel >= ste[target]` (else the caller
+    // re-enters in checked mode), checked mode only a valid target. A wild
+    // target redirects so the caller reports it without consuming fuel.
+    macro_rules! jump_to {
+        ($t:expr) => {{
+            let t = $t;
+            match tf.ste.get(t) {
+                Some(&need) if CHECKED || *fuel >= need as u64 => {
+                    idx = t;
+                    continue;
+                }
+                _ => {
+                    frame.idx = t;
+                    return SegEvent::Redirect;
+                }
+            }
+        }};
+    }
+    loop {
+        let Some(op) = tf.ops.get(idx) else {
+            // Ran off the translation: the segment entry re-checks and
+            // reports the wild PC without consuming fuel.
+            frame.idx = idx;
+            return SegEvent::Redirect;
+        };
+        if CHECKED && *fuel == 0 {
+            trap_at!(TrapKind::OutOfFuel, idx)
+        }
+        *fuel -= 1;
+        *steps += 1;
+        match op {
+            Op::MovR { dst, src } => {
+                frame.regs[*dst as usize] = frame.regs[*src as usize];
+            }
+            Op::MovRs { dst, src, ty } => {
+                frame.regs[*dst as usize] = sext_bits(frame.regs[*src as usize], *ty) as u64;
+            }
+            Op::MovI { dst, imm } => {
+                frame.regs[*dst as usize] = *imm;
+            }
+            Op::MovL { dst, mem: m, size } => {
+                match mem.load(m.ea(&frame.regs), *size as u32) {
+                    Ok(v) => frame.regs[*dst as usize] = v,
+                    Err(e) => memtrap!(e, idx),
+                }
+            }
+            Op::MovLs { dst, mem: m, size, ty } => {
+                match mem.load(m.ea(&frame.regs), *size as u32) {
+                    Ok(v) => frame.regs[*dst as usize] = sext_bits(v, *ty) as u64,
+                    Err(e) => memtrap!(e, idx),
+                }
+            }
+            Op::MovG { dst, gid, sext } => {
+                let mut v = lm.global_addrs[*gid as usize];
+                if let Some(ty) = sext {
+                    v = sext_bits(v, *ty) as u64;
+                }
+                frame.regs[*dst as usize] = v;
+            }
+            Op::St { src, mem: m, size } => {
+                let v = frame.regs[*src as usize];
+                if let Err(e) = mem.store(m.ea(&frame.regs), *size as u32, v) {
+                    memtrap!(e, idx)
+                }
+            }
+            Op::Lea { dst, mem: m } => {
+                frame.regs[*dst as usize] = m.ea(&frame.regs);
+            }
+            Op::AddQ { dst, lhs, rhs } => {
+                frame.regs[*dst as usize] =
+                    frame.regs[*lhs as usize].wrapping_add(frame.regs[*rhs as usize]);
+            }
+            Op::AddQI { dst, lhs, imm } => {
+                frame.regs[*dst as usize] = frame.regs[*lhs as usize].wrapping_add(*imm);
+            }
+            Op::SubQ { dst, lhs, rhs } => {
+                frame.regs[*dst as usize] =
+                    frame.regs[*lhs as usize].wrapping_sub(frame.regs[*rhs as usize]);
+            }
+            Op::SubQI { dst, lhs, imm } => {
+                frame.regs[*dst as usize] = frame.regs[*lhs as usize].wrapping_sub(*imm);
+            }
+            Op::MulQ { dst, lhs, rhs } => {
+                frame.regs[*dst as usize] =
+                    frame.regs[*lhs as usize].wrapping_mul(frame.regs[*rhs as usize]);
+            }
+            Op::FAdd { dst, lhs, rhs } => {
+                let v = f64::from_bits(frame.regs[*lhs as usize])
+                    + f64::from_bits(frame.regs[*rhs as usize]);
+                frame.regs[*dst as usize] = v.to_bits();
+            }
+            Op::FSub { dst, lhs, rhs } => {
+                let v = f64::from_bits(frame.regs[*lhs as usize])
+                    - f64::from_bits(frame.regs[*rhs as usize]);
+                frame.regs[*dst as usize] = v.to_bits();
+            }
+            Op::FMul { dst, lhs, rhs } => {
+                let v = f64::from_bits(frame.regs[*lhs as usize])
+                    * f64::from_bits(frame.regs[*rhs as usize]);
+                frame.regs[*dst as usize] = v.to_bits();
+            }
+            Op::FAddL { dst, lhs, mem: m } => {
+                let r = match mem.load(m.ea(&frame.regs), 8) {
+                    Ok(v) => v,
+                    Err(e) => memtrap!(e, idx),
+                };
+                let v = f64::from_bits(frame.regs[*lhs as usize]) + f64::from_bits(r);
+                frame.regs[*dst as usize] = v.to_bits();
+            }
+            Op::FMulL { dst, lhs, mem: m } => {
+                let r = match mem.load(m.ea(&frame.regs), 8) {
+                    Ok(v) => v,
+                    Err(e) => memtrap!(e, idx),
+                };
+                let v = f64::from_bits(frame.regs[*lhs as usize]) * f64::from_bits(r);
+                frame.regs[*dst as usize] = v.to_bits();
+            }
+            Op::Bin { op, dst, lhs, rhs, ty } => {
+                let l = frame.regs[*lhs as usize];
+                let r = srck!(rhs, idx);
+                match eval_bin(*op, l, r, *ty) {
+                    Ok(v) => frame.regs[*dst as usize] = v,
+                    Err(_) => trap_at!(TrapKind::Fpe, idx),
+                }
+            }
+            Op::Icmp { pred, dst, lhs, rhs, ty } => {
+                let l = frame.regs[*lhs as usize];
+                let r = srck!(rhs, idx);
+                frame.regs[*dst as usize] = eval_icmp(*pred, l, r, *ty) as u64;
+            }
+            Op::Fcmp { pred, dst, lhs, rhs, ty } => {
+                let l = frame.regs[*lhs as usize];
+                let r = srck!(rhs, idx);
+                frame.regs[*dst as usize] =
+                    eval_fcmp(*pred, float_of_bits(l, *ty), float_of_bits(r, *ty)) as u64;
+            }
+            Op::Cast { op, dst, src, from, to } => {
+                frame.regs[*dst as usize] = eval_cast(*op, frame.regs[*src as usize], *from, *to);
+            }
+            Op::Select { dst, cond, t, f } => {
+                let c = frame.regs[*cond as usize] & 1;
+                frame.regs[*dst as usize] = if c != 0 {
+                    frame.regs[*t as usize]
+                } else {
+                    frame.regs[*f as usize]
+                };
+            }
+            Op::Jmp { target } => {
+                jump_to!(*target as usize)
+            }
+            Op::Jnz { cond, then_t, else_t } => {
+                let c = frame.regs[*cond as usize] & 1;
+                jump_to!((if c != 0 { *then_t } else { *else_t }) as usize)
+            }
+            Op::GetArg { dst, idx: a } => {
+                frame.regs[*dst as usize] = frame.args.get(*a as usize).copied().unwrap_or(0);
+            }
+            Op::Call { callee, args, dst } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for s in args.iter() {
+                    argv.push(srck!(s, idx));
+                }
+                // Advance past the call before the frame push, like the
+                // interpreter (the stack-overflow trap PC is the return
+                // site).
+                frame.idx = idx + 1;
+                return SegEvent::Call { callee: *callee, argv, dst: *dst };
+            }
+            Op::CallIntr { which, args, dst } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for s in args.iter() {
+                    argv.push(srck!(s, idx));
+                }
+                // `frame.idx` stays on the CallIntr until the intrinsic
+                // succeeds (it may trap at this PC).
+                frame.idx = idx;
+                return SegEvent::Intr { which: *which, argv, dst: *dst };
+            }
+            Op::Ret { src } => {
+                let val = (*src != NO_REG).then(|| frame.regs[*src as usize]);
+                return SegEvent::Ret { val };
+            }
+            Op::CmpBr { pred, cdst, lhs, rhs, ty, then_t, else_t } => {
+                // Sub-step 1 (charged at the loop head): the compare. A
+                // folded memory rhs faults on the compare's own index.
+                let l = frame.regs[*lhs as usize];
+                let r = srck!(rhs, idx);
+                let c = eval_icmp(*pred, l, r, *ty);
+                frame.regs[*cdst as usize] = c as u64;
+                // Sub-step 2: the branch.
+                charge_second!(idx);
+                jump_to!((if c { *then_t } else { *else_t }) as usize)
+            }
+            Op::LoadBin { ldst, mem: m, size, op, bdst, rhs, ty } => {
+                // Sub-step 1: the load.
+                let v = match mem.load(m.ea(&frame.regs), *size as u32) {
+                    Ok(v) => v,
+                    Err(e) => memtrap!(e, idx),
+                };
+                frame.regs[*ldst as usize] = v;
+                // Sub-step 2: the arithmetic (reads the just-written lhs).
+                charge_second!(idx);
+                let l = frame.regs[*ldst as usize];
+                let r = srck!(rhs, idx + 1);
+                match eval_bin(*op, l, r, *ty) {
+                    Ok(res) => frame.regs[*bdst as usize] = res,
+                    Err(_) => trap_at!(TrapKind::Fpe, idx + 1),
+                }
+                idx += 2;
+                continue;
+            }
+            Op::LeaLoad { adst, amem, ldst, ldisp, size } => {
+                // Sub-step 1: the address computation.
+                frame.regs[*adst as usize] = amem.ea(&frame.regs);
+                // Sub-step 2: the dependent load (base + disp, no index).
+                charge_second!(idx);
+                let addr = frame.regs[*adst as usize].wrapping_add(*ldisp as u64);
+                match mem.load(addr, *size as u32) {
+                    Ok(v) => frame.regs[*ldst as usize] = v,
+                    Err(e) => memtrap!(e, idx + 1),
+                }
+                idx += 2;
+                continue;
+            }
+            Op::GloLoad { gdst, gid, ldst, mem: m, size } => {
+                // Sub-step 1: materialise the global base.
+                frame.regs[*gdst as usize] = lm.global_addrs[*gid as usize];
+                // Sub-step 2: the dependent (usually indexed) load.
+                charge_second!(idx);
+                match mem.load(m.ea(&frame.regs), *size as u32) {
+                    Ok(v) => frame.regs[*ldst as usize] = v,
+                    Err(e) => memtrap!(e, idx + 1),
+                }
+                idx += 2;
+                continue;
+            }
+            Op::GloFBin { gdst, gid, mul, fdst, lhs, mem: m } => {
+                // Sub-step 1: materialise the global base.
+                frame.regs[*gdst as usize] = lm.global_addrs[*gid as usize];
+                // Sub-step 2: the f64 arithmetic with its folded memory rhs.
+                charge_second!(idx);
+                let r = match mem.load(m.ea(&frame.regs), 8) {
+                    Ok(v) => v,
+                    Err(e) => memtrap!(e, idx + 1),
+                };
+                let l = f64::from_bits(frame.regs[*lhs as usize]);
+                let r = f64::from_bits(r);
+                let v = if *mul { l * r } else { l + r };
+                frame.regs[*fdst as usize] = v.to_bits();
+                idx += 2;
+                continue;
+            }
+            Op::MovRR { d1, s1, d2, s2 } => {
+                // Sub-step 1 writes `d1` before sub-step 2 reads `s2`, so
+                // a rotation chain (`s2 == d1`) sees the fresh value.
+                frame.regs[*d1 as usize] = frame.regs[*s1 as usize];
+                charge_second!(idx);
+                frame.regs[*d2 as usize] = frame.regs[*s2 as usize];
+                idx += 2;
+                continue;
+            }
+        }
+        idx += 1;
+    }
+}

@@ -9,7 +9,10 @@
 //! * [`debug`] — simulated DWARF line tables and variable location lists;
 //! * [`image`] — machine modules, shared libraries, `dladdr` and PLT;
 //! * [`cpu`] — the execution engine with signal-like traps, breakpoints
-//!   (for the ptrace-style injector) and Pin-style profiling.
+//!   (for the ptrace-style injector) and Pin-style profiling;
+//! * [`translate`]/[`engine`] — the direct-threaded compiled backend behind
+//!   the [`ExecutionEngine`] trait (bit-identical to the interpreter's fast
+//!   loop; see DESIGN.md § compiled execution backend).
 //!
 //! See DESIGN.md §2 for why this substitution preserves the behaviour CARE's
 //! evaluation depends on.
@@ -18,12 +21,16 @@ pub mod codegen;
 pub mod cpu;
 pub mod debug;
 pub mod disasm;
+pub mod engine;
 pub mod image;
 pub mod isa;
+pub mod translate;
 
 pub use codegen::compile_module;
 pub use disasm::{decode, disassemble_function, disassemble_module, format_inst, Decoded};
 pub use cpu::{BreakSet, DestRef, Frame, Process, Profile, RunExit, Trap, TrapKind};
+pub use engine::{CompiledEngine, EngineKind, ExecutionEngine, InterpEngine};
+pub use translate::{TranslateStats, TranslationCache};
 pub use debug::{DebugData, DieRequest, LocEntry, VarDie, VarPlace};
 pub use image::{LoadedModule, MachineFunction, MachineModule, ModuleId, ProcessImage};
 pub use isa::{MInst, MemOp, Reg, Src, FP, SP};

@@ -830,3 +830,191 @@ fn break_set_across_distinct_instructions_fires_in_execution_order() {
     assert!(p.multi_break.as_ref().unwrap().is_empty());
     assert!(matches!(p.run(), RunExit::Done(_)));
 }
+
+// ---------------------------------------------------------------------------
+// Compiled execution engine: the direct-threaded backend must be
+// bit-identical to the interpreter fast loop — exits, traps, fuel, steps,
+// trap counts, registers, frames and memory — at every fuel budget.
+// ---------------------------------------------------------------------------
+
+use crate::engine::{CompiledEngine, EngineKind, ExecutionEngine, InterpEngine};
+use crate::translate::TranslationCache;
+use std::sync::Arc;
+
+/// A module exercising every engine-relevant shape: fused compare+branch
+/// loops, float arithmetic with folded memory operands, intrinsics, calls,
+/// an argument-controlled modulus (`srem` can raise SIGFPE) and an
+/// argument-controlled array index (can run out of bounds).
+fn engine_fixture() -> Arc<MachineModule> {
+    let mut mb = ModuleBuilder::new("engine_fixture", "m.c");
+    let g = mb.global_zeroed("arr", Ty::F64, 64);
+    let out = mb.global_zeroed("out", Ty::I64, 8);
+    let sq = mb.declare("sq", vec![Ty::I64], Some(Ty::I64));
+    mb.define("sq", vec![Ty::I64], Some(Ty::I64), |fb| {
+        let v = fb.mul(fb.arg(0), fb.arg(0), Ty::I64);
+        fb.ret(Some(v));
+    });
+    mb.define("main", vec![Ty::I64, Ty::I64, Ty::I64], Some(Ty::F64), |fb| {
+        let acc = fb.alloca(Ty::F64, 1);
+        fb.store(Value::f64(0.0), acc);
+        fb.for_loop(Value::i64(0), fb.arg(0), |fb, iv| {
+            let x = fb.cast(tinyir::CastOp::SiToFp, iv, Ty::F64);
+            let r = fb.sqrt(x);
+            // arg(1) is the modulus: 0 traps SIGFPE mid-loop.
+            let slot = fb.srem(iv, fb.arg(1), Ty::I64);
+            fb.store_elem(r, fb.global(g), slot, Ty::F64);
+            let v = fb.load_elem(fb.global(g), slot, Ty::F64);
+            let a = fb.load(acc, Ty::F64);
+            let s = fb.fadd(a, v, Ty::F64);
+            fb.store(s, acc);
+        });
+        let q = fb.call(sq, vec![fb.arg(0)]);
+        fb.store_elem(q, fb.global(out), Value::i64(0), Ty::I64);
+        // arg(2) is a raw array index: huge values fault the load.
+        let w = fb.load_elem(fb.global(g), fb.arg(2), Ty::F64);
+        let a = fb.load(acc, Ty::F64);
+        let s = fb.fadd(a, w, Ty::F64);
+        fb.ret(Some(s));
+    });
+    let mut m = mb.finish();
+    opt::optimize(&mut m, opt::OptLevel::O1);
+    Arc::new(compile_module(&m, true, &[]))
+}
+
+/// Everything observable about a frame stack.
+#[allow(clippy::type_complexity)]
+fn frame_states(p: &Process) -> Vec<(u32, u32, usize, [u64; isa::NUM_REGS], u64, u64)> {
+    p.frames
+        .iter()
+        .map(|f| (f.module.0, f.func.0, f.idx, f.regs, f.fp, f.saved_sp))
+        .collect()
+}
+
+/// Run the fixture's `main` under both engines from identical start states
+/// and require identical machine states afterwards. Returns the shared exit.
+fn engine_parity(mm: &Arc<MachineModule>, args: &[u64], fuel: u64) -> RunExit {
+    let mut pi = Process::new(Arc::clone(mm), vec![]);
+    pi.start("main", args);
+    pi.fuel = fuel;
+    let mut pc = pi.clone();
+    let ei = InterpEngine.run(&mut pi);
+    let engine = CompiledEngine::for_image(&pc.image);
+    let ec = engine.run(&mut pc);
+    assert_eq!(ei, ec, "exit diverged (args {args:?}, fuel {fuel})");
+    assert_eq!(pi.steps, pc.steps, "steps diverged (args {args:?}, fuel {fuel})");
+    assert_eq!(pi.fuel, pc.fuel, "fuel diverged (args {args:?}, fuel {fuel})");
+    assert_eq!(pi.trap_count, pc.trap_count, "trap_count diverged");
+    assert_eq!(pi.sp, pc.sp, "sp diverged");
+    assert_eq!(frame_states(&pi), frame_states(&pc), "frames diverged (fuel {fuel})");
+    assert_eq!(
+        pi.snapshot_global("arr", 512),
+        pc.snapshot_global("arr", 512),
+        "memory diverged (args {args:?}, fuel {fuel})"
+    );
+    ei
+}
+
+#[test]
+fn compiled_engine_matches_interpreter_end_to_end() {
+    let mm = engine_fixture();
+    assert!(matches!(engine_parity(&mm, &[40, 64, 0], u64::MAX), RunExit::Done(Some(_))));
+}
+
+#[test]
+fn compiled_engine_trap_parity() {
+    let mm = engine_fixture();
+    // SIGSEGV: a wild store index freezes mid-loop with pre-fault state.
+    match engine_parity(&mm, &[8, 64, 1 << 40], u64::MAX) {
+        RunExit::Trapped(t) => assert!(matches!(t.kind, TrapKind::Segv(_)), "{t:?}"),
+        other => panic!("expected segv, got {other:?}"),
+    }
+    // SIGFPE: remainder by zero.
+    match engine_parity(&mm, &[8, 0, 0], u64::MAX) {
+        RunExit::Trapped(t) => assert_eq!(t.kind, TrapKind::Fpe),
+        other => panic!("expected fpe, got {other:?}"),
+    }
+}
+
+#[test]
+fn compiled_engine_fuel_parity_at_every_budget() {
+    // Exhaustive sweep over every possible fuel budget, including the
+    // mid-fused-pair stops: each must freeze on the exact instruction, with
+    // the exact registers, the interpreter freezes on.
+    let mm = engine_fixture();
+    let mut full = Process::new(Arc::clone(&mm), vec![]);
+    full.start("main", &[12, 64, 0]);
+    assert!(matches!(full.run(), RunExit::Done(_)));
+    let total = full.steps;
+    for budget in 0..=total + 1 {
+        let exit = engine_parity(&mm, &[12, 64, 0], budget);
+        if budget <= total.saturating_sub(1) {
+            assert!(
+                matches!(exit, RunExit::Trapped(Trap { kind: TrapKind::OutOfFuel, .. })),
+                "budget {budget} of {total} should out-of-fuel, got {exit:?}"
+            );
+        } else {
+            assert!(matches!(exit, RunExit::Done(_)));
+        }
+    }
+}
+
+#[test]
+fn translation_fuses_and_caches() {
+    let mm = engine_fixture();
+    let p = {
+        let mut p = Process::new(Arc::clone(&mm), vec![]);
+        p.start("main", &[4, 64, 0]);
+        p
+    };
+    let cache = TranslationCache::global();
+    let h0 = cache.hits();
+    let e1 = CompiledEngine::for_image(&p.image);
+    // A second engine for the same image must reuse the translation.
+    let _e2 = CompiledEngine::for_image(&p.image);
+    assert!(cache.hits() > h0, "second for_image did not hit the cache");
+    assert!(!cache.is_empty());
+    let stats = e1.stats();
+    assert!(stats.ops > 0);
+    assert!(stats.blocks > 0, "no basic blocks discovered");
+    assert!(stats.fused_cmp_br > 0, "loop compare+branch did not fuse: {stats:?}");
+    assert_eq!(
+        stats.fused_total(),
+        stats.fused_cmp_br
+            + stats.fused_load_bin
+            + stats.fused_lea_load
+            + stats.fused_glo_load
+            + stats.fused_mov_mov
+    );
+}
+
+#[test]
+fn compiled_engine_falls_back_on_armed_breakpoints() {
+    // `break_at`, `multi_break` and profiling are prepare/cursor paths: the
+    // compiled engine must behave exactly like `Process::run` there.
+    let (mm, fid, idx, _) = hot_instruction(&[12], 8);
+    let mut pi = Process::new(Arc::clone(&mm), vec![]);
+    pi.start("main", &[12]);
+    pi.break_at = Some((ModuleId(0), fid, idx, 3));
+    let mut pc = pi.clone();
+    assert_eq!(pi.run(), RunExit::BreakHit);
+    let engine = CompiledEngine::for_image(&pc.image);
+    assert_eq!(engine.run(&mut pc), RunExit::BreakHit);
+    assert_eq!(pi.steps, pc.steps);
+    assert_eq!(pi.pc(), pc.pc());
+    assert_eq!(frame_states(&pi), frame_states(&pc));
+    // Disarmed, both engines continue identically to completion.
+    let ei = InterpEngine.run(&mut pi);
+    let ec = engine.run(&mut pc);
+    assert_eq!(ei, ec);
+    assert_eq!(pi.steps, pc.steps);
+}
+
+#[test]
+fn engine_kind_parses_stable_names() {
+    assert_eq!("interp".parse::<EngineKind>().unwrap(), EngineKind::Interp);
+    assert_eq!("compiled".parse::<EngineKind>().unwrap(), EngineKind::Compiled);
+    assert!("jit".parse::<EngineKind>().is_err());
+    assert_eq!(EngineKind::default(), EngineKind::Interp);
+    assert_eq!(EngineKind::Compiled.name(), "compiled");
+    assert_eq!(InterpEngine.name(), "interp");
+}

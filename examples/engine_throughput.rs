@@ -1,0 +1,53 @@
+//! Raw execution-engine throughput: run each workload fault-free on the
+//! interpreter fast loop and on the compiled direct-threaded backend, and
+//! print simulated instructions per second plus the ratio.
+//!
+//! This is the engine-only view of the `BENCH_campaign.json` speedup (no
+//! campaign machinery, no injection forks — just `ExecutionEngine::run` on a
+//! CoW-forked started process).
+//!
+//! ```sh
+//! cargo run --release --example engine_throughput
+//! ```
+
+use simx::{CompiledEngine, ExecutionEngine, InterpEngine, RunExit};
+use std::time::Instant;
+
+fn main() {
+    for w in workloads::all() {
+        let app = care::compile(&w.module, opt::OptLevel::O1);
+        let mut template = simx::Process::new(app.machine.clone(), vec![]);
+        template.start(w.entry, &w.args);
+        let compiled = CompiledEngine::for_image(&template.image);
+        let time = |engine: &dyn ExecutionEngine| -> (u64, f64) {
+            // One warmup, then best-of-3 timed runs.
+            let mut steps = 0;
+            let mut best = f64::INFINITY;
+            for i in 0..4 {
+                let mut p = template.clone();
+                let t0 = Instant::now();
+                match engine.run(&mut p) {
+                    RunExit::Done(_) => {}
+                    other => panic!("fault-free run failed: {other:?}"),
+                }
+                let dt = t0.elapsed().as_secs_f64();
+                steps = p.steps;
+                if i > 0 {
+                    best = best.min(dt);
+                }
+            }
+            (steps, best)
+        };
+        let (steps, ti) = time(&InterpEngine);
+        let (steps_c, tc) = time(&compiled);
+        assert_eq!(steps, steps_c, "step counts must agree");
+        println!(
+            "{:8} {:>12} steps  interp {:>7.1} M/s  compiled {:>7.1} M/s  ratio {:.2}x",
+            w.name,
+            steps,
+            steps as f64 / ti / 1e6,
+            steps as f64 / tc / 1e6,
+            ti / tc
+        );
+    }
+}

@@ -16,12 +16,30 @@
 //!
 //! ```sh
 //! cargo run --release --example smoke_campaign
+//! cargo run --release --example smoke_campaign -- --engine compiled
 //! ```
+//!
+//! `--engine compiled` (or `CARE_ENGINE=compiled`) runs the same campaign
+//! on the direct-threaded compiled backend, which must agree with the
+//! interpreter record for record as well.
 
-use faultsim::{Campaign, CampaignConfig, FaultModel, Scheduler};
+use faultsim::{Campaign, CampaignConfig, EngineKind, FaultModel, Scheduler};
 use opt::OptLevel;
 
 fn main() {
+    let mut engine = EngineKind::Interp;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--engine" => {
+                engine = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--engine interp|compiled");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
     let w = workloads::hpccg::default();
     let app = care::compile(&w.module, OptLevel::O1);
     let campaign = Campaign::prepare(&w, app, vec![]);
@@ -33,14 +51,15 @@ fn main() {
         seed: 0x5300CE,
         keep_records: true,
         scheduler,
+        engine,
         ..CampaignConfig::default()
     };
     let r = campaign.run(&cfg(Scheduler::Trellis));
     let legacy = campaign.run(&cfg(Scheduler::PerInjection));
     println!(
-        "smoke campaign: 30 injections on HPCCG -> {} benign, {} soft, {} sdc, {} hang; \
+        "smoke campaign [{}]: 30 injections on HPCCG -> {} benign, {} soft, {} sdc, {} hang; \
          CARE evaluated {}, covered {}",
-        r.benign, r.soft_failure, r.sdc, r.hang, r.care_evaluated, r.care_covered
+        engine.name(), r.benign, r.soft_failure, r.sdc, r.hang, r.care_evaluated, r.care_covered
     );
     println!(
         "trellis: {} snapshots off one cursor pass, {} prefix + {} suffix + {} CARE steps \

@@ -13,7 +13,7 @@
 //! refresh. Refresh the constants only for an *intentional* semantic change
 //! (new fault model, different sampling), and say so in the commit.
 
-use faultsim::{Campaign, CampaignConfig, FaultModel, Scheduler};
+use faultsim::{Campaign, CampaignConfig, EngineKind, FaultModel, Scheduler};
 use opt::OptLevel;
 use proptest::prelude::*;
 use safeguard::DeclineKind;
@@ -65,6 +65,17 @@ fn run_records(
     seed: u64,
     scheduler: Scheduler,
 ) -> faultsim::CampaignReport {
+    run_records_engine(campaign, injections, seed, scheduler, EngineKind::Interp)
+}
+
+/// [`run_records`] on an explicit execution backend.
+fn run_records_engine(
+    campaign: &Campaign,
+    injections: usize,
+    seed: u64,
+    scheduler: Scheduler,
+    engine: EngineKind,
+) -> faultsim::CampaignReport {
     campaign.run(&CampaignConfig {
         injections,
         model: FaultModel::SingleBit,
@@ -73,6 +84,7 @@ fn run_records(
         app_only: true,
         keep_records: true,
         scheduler,
+        engine,
         ..CampaignConfig::default()
     })
 }
@@ -105,6 +117,43 @@ fn trellis_records_match_legacy_on_all_workloads() {
     }
 }
 
+/// The compiled direct-threaded engine must be an observational no-op on
+/// full campaigns: for every workload, under *both* schedulers, the
+/// per-injection records — injection point, landing site, outcome,
+/// manifestation latency, step split and the full CARE evaluation — are
+/// bit-identical to the interpreter's at the benchmark seed. This is the
+/// campaign-level counterpart of the per-budget parity the simx unit tests
+/// and the carefuzz `Compiled` pair check.
+#[test]
+fn compiled_engine_records_match_interpreter_on_all_workloads() {
+    let small: Vec<(&str, workloads::Workload)> = vec![
+        ("HPCCG", workloads::hpccg::build(3, 2)),
+        ("CoMD", workloads::comd::build(16, 2, 1)),
+        ("miniFE", workloads::minife::build(2, 2)),
+        ("miniMD", workloads::minimd::build(16, 1)),
+        ("GTC-P", workloads::gtcp::build(4, 2, 16, 1)),
+    ];
+    for (name, w) in small {
+        let app = care::compile(&w.module, OptLevel::O1);
+        let campaign = Campaign::prepare(&w, app, vec![]);
+        for scheduler in [Scheduler::Trellis, Scheduler::PerInjection] {
+            let interp =
+                run_records_engine(&campaign, 40, 0xCA2E, scheduler, EngineKind::Interp);
+            let compiled =
+                run_records_engine(&campaign, 40, 0xCA2E, scheduler, EngineKind::Compiled);
+            assert_eq!(
+                interp.records, compiled.records,
+                "{name} ({scheduler:?}): compiled-engine records diverged from the interpreter"
+            );
+            assert_eq!(
+                (interp.steps_prefix, interp.steps_suffix, interp.steps_care),
+                (compiled.steps_prefix, compiled.steps_suffix, compiled.steps_care),
+                "{name} ({scheduler:?}): step accounting diverged"
+            );
+        }
+    }
+}
+
 /// The committed `BENCH_campaign.json` must carry the current schema
 /// version (bumped in `bench::BENCH_SCHEMA_VERSION` whenever the shape
 /// changes) and the telemetry sections the v2 schema introduced. Regenerate
@@ -131,8 +180,9 @@ fn committed_bench_json_matches_schema_version() {
     match doc.get("workloads") {
         Some(telemetry::Json::Arr(rows)) => {
             assert!(!rows.is_empty());
+            let mut compiled_rows = 0usize;
             for row in rows {
-                for key in ["workload", "declines", "tlb", "recovery"] {
+                for key in ["workload", "engine", "declines", "tlb", "recovery"] {
                     assert!(row.get(key).is_some(), "workload row missing {key:?}");
                 }
                 let hit = row
@@ -141,7 +191,20 @@ fn committed_bench_json_matches_schema_version() {
                     .and_then(|v| v.as_f64())
                     .expect("tlb.hit_rate");
                 assert!((0.0..=1.0).contains(&hit), "hit rate {hit} out of range");
+                // v3: compiled rows carry the measured speedup ratio.
+                if row.get("engine").and_then(|v| v.as_str()) == Some("compiled") {
+                    compiled_rows += 1;
+                    let speedup = row
+                        .get("speedup_vs_interp")
+                        .and_then(|v| v.as_f64())
+                        .expect("compiled row carries speedup_vs_interp");
+                    assert!(speedup > 0.0, "speedup {speedup} out of range");
+                }
             }
+            assert!(
+                compiled_rows > 0,
+                "v3 artefact must carry compiled-engine rows"
+            );
         }
         other => panic!("workloads should be an array, got {other:?}"),
     }
@@ -206,5 +269,33 @@ proptest! {
         let legacy = run_records(campaign, 20, seed, Scheduler::PerInjection);
         let trellis = run_records(campaign, 20, seed, Scheduler::Trellis);
         prop_assert_eq!(&legacy.records, &trellis.records);
+    }
+
+    /// Fuel/trap-state parity of the compiled engine at arbitrary seeds and
+    /// hang budgets: every injection drives the engines through different
+    /// trap, out-of-fuel and recovery paths, and the records — outcome,
+    /// trap latencies and the CARE step split — must match the interpreter
+    /// record for record. (Exhaustive per-budget parity is covered by the
+    /// simx unit sweep and the carefuzz `Compiled` pair.)
+    #[test]
+    fn compiled_matches_interp_at_random_seeds_and_budgets(
+        seed in any::<u64>(),
+        hang_factor in 1u64..30,
+    ) {
+        let campaign = tiny_campaign();
+        let cfg = CampaignConfig {
+            injections: 20,
+            model: FaultModel::SingleBit,
+            seed,
+            evaluate_care: true,
+            app_only: true,
+            keep_records: true,
+            hang_factor,
+            ..CampaignConfig::default()
+        };
+        let interp = campaign.run(&cfg);
+        let compiled =
+            campaign.run(&CampaignConfig { engine: EngineKind::Compiled, ..cfg });
+        prop_assert_eq!(&interp.records, &compiled.records);
     }
 }

@@ -7,11 +7,15 @@
 //! as cost-model arithmetic (that part is pinned in `safeguard`'s unit
 //! tests).
 
-use faultsim::{Campaign, CampaignConfig, FaultModel};
+use faultsim::{Campaign, CampaignConfig, EngineKind, FaultModel};
 use opt::OptLevel;
 use telemetry::{Recorder, TelemetryReport};
 
 fn traced_hpccg_campaign(injections: usize) -> TelemetryReport {
+    traced_hpccg_campaign_engine(injections, EngineKind::Interp)
+}
+
+fn traced_hpccg_campaign_engine(injections: usize, engine: EngineKind) -> TelemetryReport {
     let w = workloads::hpccg::build(3, 2);
     let app = care::compile(&w.module, OptLevel::O1);
     let campaign = Campaign::prepare(&w, app, vec![]);
@@ -23,6 +27,7 @@ fn traced_hpccg_campaign(injections: usize) -> TelemetryReport {
             seed: 0xCA2E,
             evaluate_care: true,
             app_only: true,
+            engine,
             ..CampaignConfig::default()
         },
         &rec,
@@ -99,6 +104,40 @@ fn tlb_hit_rate_is_high_and_consistent() {
     // HPCCG streams rows with strong page locality; the 1-entry software
     // TLB should absorb the overwhelming majority of accesses.
     assert!(hit_rate > 0.90, "TLB hit rate {hit_rate:.4} suspiciously low");
+}
+
+/// A compiled-engine campaign surfaces the `engine.*` translation counters
+/// (block/op/fusion statistics and translation-cache traffic) in its
+/// telemetry stream; an interpreter campaign emits none of them. The
+/// simulation-visible counters stay identical either way.
+#[test]
+fn compiled_campaign_reports_engine_counters() {
+    let interp = traced_hpccg_campaign_engine(40, EngineKind::Interp);
+    let compiled = traced_hpccg_campaign_engine(40, EngineKind::Compiled);
+    let ctr = |t: &TelemetryReport, n: &str| t.counters.get(n).copied().unwrap_or(0);
+    assert!(
+        !interp.counters.keys().any(|k| k.starts_with("engine.")),
+        "interpreter campaign emitted engine.* counters"
+    );
+    assert!(ctr(&compiled, "engine.ops") > 0, "no translated ops reported");
+    assert!(ctr(&compiled, "engine.blocks") > 0, "no translated blocks reported");
+    assert!(
+        ctr(&compiled, "engine.fused_cmp_br") > 0,
+        "HPCCG loops must fuse compare+branch pairs"
+    );
+    assert!(
+        ctr(&compiled, "engine.cache_hits") + ctr(&compiled, "engine.cache_misses") > 0,
+        "translation-cache traffic unreported"
+    );
+    // Telemetry is an observer on either backend: the campaign-level step
+    // accounting must agree between the engines.
+    for key in ["steps.prefix", "steps.suffix", "steps.care", "campaign.classified"] {
+        assert_eq!(
+            ctr(&interp, key),
+            ctr(&compiled, key),
+            "{key} diverged between engines"
+        );
+    }
 }
 
 #[test]
