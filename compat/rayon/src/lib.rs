@@ -1,31 +1,73 @@
 //! Offline, API-compatible subset of `rayon`.
 //!
 //! Implements the parallel-iterator surface the workspace actually uses
-//! (`into_par_iter().map/filter_map().collect()`) on top of
-//! `std::thread::scope` with a shared atomic work index. Output order is
-//! preserved, so seeded campaigns stay deterministic regardless of thread
-//! count.
+//! (`into_par_iter().map/filter_map().collect()`) on top of a persistent
+//! work-stealing pool (see [`pool`]): long-lived worker threads with
+//! per-worker chunk deques and back-stealing, instead of spawning and
+//! joining fresh threads on every call. Output order is preserved, so
+//! seeded campaigns stay deterministic regardless of thread count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+mod pool;
+
+pub use pool::{pool_stats, PoolStats};
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator};
 }
 
-/// Configured pool width: the `CARE_THREADS` environment override when it
-/// parses to a positive integer, otherwise the machine's available
-/// parallelism.
+/// Process-wide width override installed by [`set_threads_override`] /
+/// [`with_threads`]; `0` means "no override".
+static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pin the pool width programmatically, taking precedence over
+/// `CARE_THREADS`. `None` removes the override. This is the race-free
+/// replacement for mutating the environment at runtime: the env variable
+/// is parsed once and cached, so `set_var` after startup has no effect.
+pub fn set_threads_override(threads: Option<usize>) {
+    THREADS_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Run `f` with the pool width pinned to `threads`, restoring the previous
+/// override afterwards (also on panic). Callers are serialized on a global
+/// lock so two `with_threads` scopes never observe each other's widths;
+/// the lock is poison-tolerant because a panicking scope still restores.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    static SCOPE: Mutex<()> = Mutex::new(());
+    let _guard = SCOPE.lock().unwrap_or_else(|e| e.into_inner());
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREADS_OVERRIDE.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _restore = Restore(THREADS_OVERRIDE.swap(threads.max(1), Ordering::SeqCst));
+    f()
+}
+
+/// Parse a `CARE_THREADS` value: a positive integer, else `None`.
+fn parse_threads(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&t| t >= 1)
+}
+
+/// The `CARE_THREADS` environment override, parsed once per process.
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| std::env::var("CARE_THREADS").ok().and_then(|v| parse_threads(&v)))
+}
+
+/// Configured pool width: the programmatic override when set, else the
+/// `CARE_THREADS` environment override when it parses to a positive
+/// integer, otherwise the machine's available parallelism.
 fn configured_threads() -> usize {
-    std::env::var("CARE_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&t| t >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|c| c.get())
-                .unwrap_or(1)
-        })
+    match THREADS_OVERRIDE.load(Ordering::SeqCst) {
+        0 => env_threads().unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1)
+        }),
+        t => t,
+    }
 }
 
 /// Mirror of `rayon::current_num_threads`: the pool width parallel work
@@ -44,13 +86,15 @@ fn worker_count(n: usize) -> usize {
 /// without paying per-item synchronisation.
 const CHUNKS_PER_THREAD: usize = 8;
 
-/// Apply `f` to every item on a worker pool, preserving item order.
+/// Apply `f` to every item on the persistent pool, preserving item order.
 ///
-/// Work is taken in contiguous chunks (grain derived from item count /
-/// thread count) claimed off a single atomic cursor: two lock round-trips
-/// per *chunk* instead of the former two per *item*. Outputs land in
-/// per-chunk slots and are concatenated in chunk order, so the result is
-/// order-preserving and deterministic regardless of thread schedule.
+/// Work is split into contiguous chunks (grain derived from item count /
+/// thread count) seeded across per-participant deques; idle participants
+/// steal from the back of loaded ones, so one expensive straggler chunk
+/// no longer serializes the batch tail. Outputs land in per-chunk slots
+/// and are concatenated in chunk order, so the result is order-preserving
+/// and deterministic regardless of thread schedule. Nested calls (from
+/// inside a pool chunk) degrade to inline execution.
 fn par_apply<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -59,7 +103,7 @@ where
 {
     let n = items.len();
     let threads = worker_count(n);
-    if threads <= 1 {
+    if threads <= 1 || pool::in_pool() {
         return items.into_iter().map(f).collect();
     }
     let grain = n.div_ceil(threads * CHUNKS_PER_THREAD).max(1);
@@ -69,21 +113,20 @@ where
         let rest = items.split_off(grain.min(items.len()));
         chunks.push(Mutex::new(std::mem::replace(&mut items, rest)));
     }
+    if chunks.len() <= 1 {
+        return chunks
+            .into_iter()
+            .flat_map(|c| c.into_inner().unwrap())
+            .map(f)
+            .collect();
+    }
     let out: Vec<Mutex<Vec<R>>> = (0..chunks.len()).map(|_| Mutex::new(Vec::new())).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= chunks.len() {
-                    break;
-                }
-                let chunk = std::mem::take(&mut *chunks[c].lock().unwrap());
-                let results: Vec<R> = chunk.into_iter().map(&f).collect();
-                *out[c].lock().unwrap() = results;
-            });
-        }
-    });
+    let run_chunk = |c: usize| {
+        let chunk = std::mem::take(&mut *chunks[c].lock().unwrap());
+        let results: Vec<R> = chunk.into_iter().map(&f).collect();
+        *out[c].lock().unwrap() = results;
+    };
+    pool::run_batch(threads, chunks.len(), &run_chunk);
     out.into_iter().flat_map(|s| s.into_inner().unwrap()).collect()
 }
 
@@ -253,16 +296,89 @@ mod tests {
     }
 
     #[test]
-    fn care_threads_env_overrides_pool_width() {
-        // Runs in the same process as the other tests, but they only
-        // assert order/content — which hold at any pool width.
-        std::env::set_var("CARE_THREADS", "2");
-        assert_eq!(crate::current_num_threads(), 2);
-        let out: Vec<usize> = (0..64usize).into_par_iter().map(|i| i + 1).collect();
-        assert_eq!(out, (1..=64).collect::<Vec<_>>());
-        std::env::set_var("CARE_THREADS", "not-a-number");
+    fn care_threads_values_parse_like_the_env_override() {
+        // The environment is read once at startup and cached, so tests
+        // exercise the parser directly instead of racing `set_var` against
+        // concurrently running parallel work (the old version of this test
+        // did exactly that).
+        assert_eq!(crate::parse_threads("2"), Some(2));
+        assert_eq!(crate::parse_threads(" 16 "), Some(16));
+        assert_eq!(crate::parse_threads("0"), None);
+        assert_eq!(crate::parse_threads("not-a-number"), None);
+        assert_eq!(crate::parse_threads(""), None);
         assert!(crate::current_num_threads() >= 1);
-        std::env::remove_var("CARE_THREADS");
+    }
+
+    #[test]
+    fn with_threads_pins_and_restores_the_width() {
+        let before = crate::current_num_threads();
+        let (inside, out) = crate::with_threads(2, || {
+            let out: Vec<usize> = (0..64usize).into_par_iter().map(|i| i + 1).collect();
+            (crate::current_num_threads(), out)
+        });
+        assert_eq!(inside, 2);
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+        assert_eq!(crate::current_num_threads(), before);
+    }
+
+    #[test]
+    fn pool_workers_persist_across_batches() {
+        crate::with_threads(4, || {
+            for _ in 0..20 {
+                let out: Vec<usize> = (0..200usize).into_par_iter().map(|i| i ^ 5).collect();
+                assert_eq!(out.len(), 200);
+            }
+            // Twenty 4-wide batches need at most 3 pool threads, ever —
+            // the per-call `thread::scope` version would have spawned 80.
+            assert!(
+                crate::pool_stats().workers <= 3,
+                "pool respawned workers: {:?}",
+                crate::pool_stats()
+            );
+        });
+    }
+
+    #[test]
+    fn nested_parallelism_degrades_to_inline() {
+        let out: Vec<usize> = crate::with_threads(4, || {
+            (0..64usize)
+                .into_par_iter()
+                .map(|i| (0..8usize).into_par_iter().map(move |j| i * 8 + j).sum())
+                .collect()
+        });
+        let expect: Vec<usize> = (0..64).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn concurrent_callers_serialize_without_corruption() {
+        crate::with_threads(3, || {
+            std::thread::scope(|scope| {
+                for t in 0..4usize {
+                    scope.spawn(move || {
+                        let out: Vec<usize> =
+                            (0..300usize).into_par_iter().map(|i| i + t).collect();
+                        assert_eq!(out, (0..300).map(|i| i + t).collect::<Vec<_>>());
+                    });
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn panics_propagate_and_the_pool_survives() {
+        crate::with_threads(4, || {
+            let r = std::panic::catch_unwind(|| {
+                (0..100usize)
+                    .into_par_iter()
+                    .map(|i| if i == 63 { panic!("chunk 63 bad") } else { i })
+                    .collect::<Vec<_>>()
+            });
+            assert!(r.is_err(), "worker panic must reach the caller");
+            // The pool must still schedule work after a panicking batch.
+            let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * 3).collect();
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        });
     }
 
     #[test]

@@ -1,14 +1,18 @@
 //! `repro` — regenerate every table and figure of the CARE paper.
 //!
 //! ```text
-//! repro [--injections N] [--seed S] [--threads N] [--telemetry OUT.jsonl]
-//!       [experiments...]
+//! repro [--injections N] [--seed S] [--threads N[,N,...]]
+//!       [--telemetry OUT.jsonl] [experiments...]
 //!
 //! experiments: table2 table3 table4 table5 table8 table9 table10 table11
 //!              fig7 fig9 fig10 fig12 declines all   (default: all)
 //!              bench-json   (explicit only: writes BENCH_campaign.json
 //!                            with campaign-throughput measurements)
 //! ```
+//!
+//! `--threads` takes a comma list: `bench-json` emits one BENCH row set per
+//! listed thread count in a single invocation (default sweep `1,4,16`);
+//! the table/figure experiments run at the first listed count.
 //!
 //! The default injection count (300 per workload) keeps a full regeneration
 //! to minutes on a laptop; pass `--injections 10000` for paper-scale
@@ -33,7 +37,8 @@ use telemetry::{NoTelemetry, Recorder};
 struct Args {
     injections: usize,
     seed: u64,
-    threads: Option<usize>,
+    /// `--threads` comma list; empty means "not given".
+    threads: Vec<usize>,
     telemetry: Option<std::path::PathBuf>,
     engine: EngineKind,
     experiments: Vec<String>,
@@ -42,7 +47,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut injections = 300;
     let mut seed = 0xCA2E;
-    let mut threads = None;
+    let mut threads = Vec::new();
     let mut telemetry = None;
     let mut engine = None;
     let mut experiments = Vec::new();
@@ -59,12 +64,17 @@ fn parse_args() -> Args {
                 seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
             }
             "--threads" => {
-                threads = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .filter(|&t: &usize| t >= 1)
-                        .expect("--threads N (N >= 1)"),
-                );
+                let list = it.next().expect("--threads N[,N,...]");
+                threads = list
+                    .split(',')
+                    .map(|v| {
+                        v.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&t| t >= 1)
+                            .expect("--threads N[,N,...] (N >= 1)")
+                    })
+                    .collect();
             }
             "--telemetry" => {
                 telemetry = Some(it.next().expect("--telemetry OUT.jsonl").into());
@@ -78,7 +88,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--injections N] [--seed S] [--threads N] [--engine interp|compiled] [--telemetry OUT.jsonl] [table2|table3|table4|table5|table8|table9|table10|table11|fig7|fig9|fig10|fig12|declines|bench-json|all]..."
+                    "usage: repro [--injections N] [--seed S] [--threads N[,N,...]] [--engine interp|compiled] [--telemetry OUT.jsonl] [table2|table3|table4|table5|table8|table9|table10|table11|fig7|fig9|fig10|fig12|declines|bench-json|all]..."
                 );
                 std::process::exit(0);
             }
@@ -149,139 +159,186 @@ fn run_coverage(
 /// the measurements to `BENCH_campaign.json` in the current directory
 /// (hand-rolled JSON; the container has no serde).
 ///
-/// Schema v3 ([`BENCH_SCHEMA_VERSION`]): each campaign runs under its own
-/// telemetry [`Recorder`], every workload is measured once per execution
-/// backend (interpreter, then the compiled direct-threaded translator at the
-/// same seed and thread count), and the rows carry the drained measurements —
-/// decline histograms, software-TLB hit rates, the measured
-/// recovery-preparation fraction and the compiled-vs-interp speedup — next
-/// to the throughput numbers.
-fn bench_json(injections: usize, seed: u64) {
+/// Schema v4 ([`BENCH_SCHEMA_VERSION`]): each campaign runs under its own
+/// telemetry [`Recorder`]; every workload is measured once per execution
+/// backend (interpreter, then the compiled direct-threaded translator at
+/// the same seed) and once per swept thread count (`--threads 1,4,16`
+/// style; records are bit-identical across the sweep, only wall clock
+/// moves). Rows carry the drained measurements — decline histograms,
+/// software-TLB hit rates, the measured recovery-preparation fraction, the
+/// compiled-vs-interp speedup, per-worker busy nanoseconds and the
+/// work-stealing pool's batch/steal counters — next to the throughput
+/// numbers, and a top-level `scaling` section condenses the sweep into
+/// injections/s, speedup and parallel efficiency per (workload, engine).
+fn bench_json(injections: usize, seed: u64, cli_threads: &[usize]) {
     use std::fmt::Write as _;
     use std::time::Instant;
+    let sweep: Vec<usize> =
+        if cli_threads.is_empty() { vec![1, 4, 16] } else { cli_threads.to_vec() };
+    let host_cpus = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
     eprintln!(
-        "[repro] timing CARE coverage campaigns ({injections} injections/workload, both engines)..."
+        "[repro] timing CARE coverage campaigns ({injections} injections/workload, \
+         both engines, threads {sweep:?}, host cpus {host_cpus})..."
     );
+    // Prepare once: the sweep re-times the same campaigns, it does not
+    // re-profile the workloads.
+    let prepared: Vec<PreparedWorkload> =
+        section2_workloads().iter().map(|w| prepare(w, OptLevel::O1)).collect();
     let mut entries = Vec::new();
+    // Throughput per (workload, engine) across the sweep, for "scaling".
+    type ScaleSeries = (&'static str, &'static str, Vec<(usize, f64)>);
+    let mut scale: Vec<ScaleSeries> = Vec::new();
     // Suite-wide accumulators for the top-level "telemetry" section.
-    // Recovery/TLB work is engine-independent (records are bit-identical),
-    // so accumulate from the interpreter rows only.
+    // Recovery/TLB work is engine- and thread-independent (records are
+    // bit-identical), so accumulate from the first sweep's interpreter
+    // rows only.
     let (mut all_act, mut all_over98) = (0u64, 0u64);
     let (mut all_prep_sum, mut all_prep_count) = (0u64, 0u64);
     let (mut all_acc, mut all_miss) = (0u64, 0u64);
-    for w in section2_workloads() {
-        let p = prepare(&w, OptLevel::O1);
-        let mut interp_ips = 0.0f64;
-        for engine in [EngineKind::Interp, EngineKind::Compiled] {
-            let rec = Recorder::new();
-            let t0 = Instant::now();
-            let r = coverage_campaign_traced(
-                &p,
-                injections,
-                FaultModel::SingleBit,
-                seed,
-                engine,
-                &rec,
-            );
-            let wall_s = t0.elapsed().as_secs_f64();
-            let tel = rec.drain();
-            let ctr = |n: &str| tel.counters.get(n).copied().unwrap_or(0);
-            let (loads, stores) = (ctr("tlb.loads"), ctr("tlb.stores"));
-            let misses = ctr("tlb.read_misses") + ctr("tlb.write_misses");
-            let accesses = loads + stores;
-            let hit_rate = if accesses == 0 {
-                1.0
-            } else {
-                (accesses - misses) as f64 / accesses as f64
-            };
-            let prep = tel.hists.get("recovery.prep_bp");
-            let prep_mean = prep.map_or(0.0, |h| h.mean() / 10_000.0);
-            let prep_min = prep.map_or(0.0, |h| h.min() as f64 / 10_000.0);
-            let instr_per_sec = r.simulated_steps as f64 / wall_s;
-            let speedup = match engine {
-                EngineKind::Interp => {
-                    interp_ips = instr_per_sec;
-                    String::new()
+    for (ti, &threads) in sweep.iter().enumerate() {
+        rayon::set_threads_override(Some(threads));
+        for p in &prepared {
+            let mut interp_ips = 0.0f64;
+            for engine in [EngineKind::Interp, EngineKind::Compiled] {
+                let rec = Recorder::new();
+                let t0 = Instant::now();
+                let r = coverage_campaign_traced(
+                    p,
+                    injections,
+                    FaultModel::SingleBit,
+                    seed,
+                    engine,
+                    &rec,
+                );
+                let wall_s = t0.elapsed().as_secs_f64();
+                let tel = rec.drain();
+                let ctr = |n: &str| tel.counters.get(n).copied().unwrap_or(0);
+                let (loads, stores) = (ctr("tlb.loads"), ctr("tlb.stores"));
+                let misses = ctr("tlb.read_misses") + ctr("tlb.write_misses");
+                let accesses = loads + stores;
+                let hit_rate = if accesses == 0 {
+                    1.0
+                } else {
+                    (accesses - misses) as f64 / accesses as f64
+                };
+                let prep = tel.hists.get("recovery.prep_bp");
+                let prep_mean = prep.map_or(0.0, |h| h.mean() / 10_000.0);
+                let prep_min = prep.map_or(0.0, |h| h.min() as f64 / 10_000.0);
+                let instr_per_sec = r.simulated_steps as f64 / wall_s;
+                let inj_per_sec = injections as f64 / wall_s;
+                let speedup = match engine {
+                    EngineKind::Interp => {
+                        interp_ips = instr_per_sec;
+                        String::new()
+                    }
+                    EngineKind::Compiled => {
+                        format!(
+                            "      \"speedup_vs_interp\": {:.2},\n",
+                            instr_per_sec / interp_ips.max(1e-9)
+                        )
+                    }
+                };
+                if ti == 0 && engine == EngineKind::Interp {
+                    all_act += ctr("recovery.activations");
+                    all_over98 += ctr("recovery.prep_over_98pct");
+                    all_prep_sum += prep.map_or(0, |h| h.sum());
+                    all_prep_count += prep.map_or(0, |h| h.count());
+                    all_acc += accesses;
+                    all_miss += misses;
                 }
-                EngineKind::Compiled => {
-                    format!(
-                        "      \"speedup_vs_interp\": {:.2},\n",
-                        instr_per_sec / interp_ips.max(1e-9)
-                    )
+                // Per-worker utilization: each telemetry shard is one
+                // thread; its `worker.busy_ns` subtotal is the time that
+                // thread spent inside suffix/CARE jobs.
+                let mut busy: Vec<u64> = tel
+                    .per_shard_counters
+                    .iter()
+                    .filter_map(|m| m.get("worker.busy_ns").copied())
+                    .filter(|&v| v > 0)
+                    .collect();
+                busy.sort_unstable_by(|a, b| b.cmp(a));
+                let busy_json =
+                    busy.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+                let declines = decline_rows(&r)
+                    .iter()
+                    .map(|(k, n)| format!("\"{k}\": {n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let mut e = String::new();
+                write!(
+                    e,
+                    "    {{\n      \"workload\": \"{}\",\n      \"opt_level\": \"O1\",\n      \
+                     \"engine\": \"{}\",\n      \"threads\": {},\n      \
+                     \"injections\": {},\n      \"classified\": {},\n      \
+                     \"care_evaluated\": {},\n      \"care_covered\": {},\n      \
+                     \"wall_s\": {:.6},\n      \"injections_per_sec\": {:.2},\n      \
+                     \"simulated_instructions\": {},\n      \
+                     \"simulated_instructions_per_sec\": {:.0},\n{}      \
+                     \"sim_steps_prefix\": {},\n      \"sim_steps_suffix\": {},\n      \
+                     \"sim_steps_care\": {},\n      \"trellis_snapshots\": {},\n      \
+                     \"cursor_shards\": {},\n      \
+                     \"workers_busy_ns\": [{}],\n      \
+                     \"pool\": {{\"chunks\": {}, \"steals\": {}}},\n      \
+                     \"declines\": {{{}}},\n      \
+                     \"tlb\": {{\"loads\": {}, \"stores\": {}, \"read_misses\": {}, \
+                     \"write_misses\": {}, \"hit_rate\": {:.6}}},\n      \
+                     \"recovery\": {{\"activations\": {}, \"recovered\": {}, \
+                     \"prep_fraction_mean\": {:.4}, \
+                     \"prep_fraction_min\": {:.4}, \"prep_over_98pct\": {}}}\n    }}",
+                    p.name,
+                    engine.name(),
+                    threads,
+                    injections,
+                    r.total(),
+                    r.care_evaluated,
+                    r.care_covered,
+                    wall_s,
+                    inj_per_sec,
+                    r.simulated_steps,
+                    instr_per_sec,
+                    speedup,
+                    r.steps_prefix,
+                    r.steps_suffix,
+                    r.steps_care,
+                    r.trellis_snapshots,
+                    r.cursor_shards,
+                    busy_json,
+                    ctr("pool.chunks"),
+                    ctr("pool.steals"),
+                    declines,
+                    loads,
+                    stores,
+                    ctr("tlb.read_misses"),
+                    ctr("tlb.write_misses"),
+                    hit_rate,
+                    ctr("recovery.activations"),
+                    ctr("recovery.recovered"),
+                    prep_mean,
+                    prep_min,
+                    ctr("recovery.prep_over_98pct"),
+                )
+                .unwrap();
+                eprintln!(
+                    "[repro]   {} [{} x{}]: {:.2} injections/sec, {:.2e} simulated instrs/sec, \
+                     {} busy workers, TLB hit rate {:.4}",
+                    p.name,
+                    engine.name(),
+                    threads,
+                    inj_per_sec,
+                    instr_per_sec,
+                    busy.len(),
+                    hit_rate,
+                );
+                entries.push(e);
+                match scale.iter_mut().find(|(w, en, _)| *w == p.name && *en == engine.name()) {
+                    Some((_, _, points)) => points.push((threads, inj_per_sec)),
+                    None => scale.push((p.name, engine.name(), vec![(threads, inj_per_sec)])),
                 }
-            };
-            if engine == EngineKind::Interp {
-                all_act += ctr("recovery.activations");
-                all_over98 += ctr("recovery.prep_over_98pct");
-                all_prep_sum += prep.map_or(0, |h| h.sum());
-                all_prep_count += prep.map_or(0, |h| h.count());
-                all_acc += accesses;
-                all_miss += misses;
             }
-            let declines = decline_rows(&r)
-                .iter()
-                .map(|(k, n)| format!("\"{k}\": {n}"))
-                .collect::<Vec<_>>()
-                .join(", ");
-            let mut e = String::new();
-            write!(
-                e,
-                "    {{\n      \"workload\": \"{}\",\n      \"opt_level\": \"O1\",\n      \
-                 \"engine\": \"{}\",\n      \
-                 \"injections\": {},\n      \"classified\": {},\n      \
-                 \"care_evaluated\": {},\n      \"care_covered\": {},\n      \
-                 \"wall_s\": {:.6},\n      \"injections_per_sec\": {:.2},\n      \
-                 \"simulated_instructions\": {},\n      \
-                 \"simulated_instructions_per_sec\": {:.0},\n{}      \
-                 \"sim_steps_prefix\": {},\n      \"sim_steps_suffix\": {},\n      \
-                 \"sim_steps_care\": {},\n      \"trellis_snapshots\": {},\n      \
-                 \"declines\": {{{}}},\n      \
-                 \"tlb\": {{\"loads\": {}, \"stores\": {}, \"read_misses\": {}, \
-                 \"write_misses\": {}, \"hit_rate\": {:.6}}},\n      \
-                 \"recovery\": {{\"activations\": {}, \"recovered\": {}, \
-                 \"prep_fraction_mean\": {:.4}, \
-                 \"prep_fraction_min\": {:.4}, \"prep_over_98pct\": {}}}\n    }}",
-                p.name,
-                engine.name(),
-                injections,
-                r.total(),
-                r.care_evaluated,
-                r.care_covered,
-                wall_s,
-                injections as f64 / wall_s,
-                r.simulated_steps,
-                instr_per_sec,
-                speedup,
-                r.steps_prefix,
-                r.steps_suffix,
-                r.steps_care,
-                r.trellis_snapshots,
-                declines,
-                loads,
-                stores,
-                ctr("tlb.read_misses"),
-                ctr("tlb.write_misses"),
-                hit_rate,
-                ctr("recovery.activations"),
-                ctr("recovery.recovered"),
-                prep_mean,
-                prep_min,
-                ctr("recovery.prep_over_98pct"),
-            )
-            .unwrap();
-            eprintln!(
-                "[repro]   {} [{}]: {:.2} injections/sec, {:.2e} simulated instrs/sec, \
-                 TLB hit rate {:.4}, prep fraction {:.4}",
-                p.name,
-                engine.name(),
-                injections as f64 / wall_s,
-                instr_per_sec,
-                hit_rate,
-                prep_mean,
-            );
-            entries.push(e);
         }
     }
+    // Restore the CLI-level override (bench-json may not be the only
+    // experiment in the invocation).
+    rayon::set_threads_override(cli_threads.first().copied());
     let suite_prep = if all_prep_count == 0 {
         0.0
     } else {
@@ -292,18 +349,45 @@ fn bench_json(injections: usize, seed: u64) {
     } else {
         (all_acc - all_miss) as f64 / all_acc as f64
     };
+    // The scaling section: per (workload, engine), throughput across the
+    // sweep normalised to the first swept thread count.
+    let scaling = scale
+        .iter()
+        .map(|(w, en, points)| {
+            let (t0, ips0) = points[0];
+            let pts = points
+                .iter()
+                .map(|&(t, ips)| {
+                    let speedup = ips / ips0.max(1e-9);
+                    format!(
+                        "        {{\"threads\": {t}, \"injections_per_sec\": {ips:.2}, \
+                         \"speedup\": {speedup:.3}, \"efficiency\": {:.3}}}",
+                        speedup * t0 as f64 / t as f64
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!(
+                "    {{\n      \"workload\": \"{w}\",\n      \"engine\": \"{en}\",\n      \
+                 \"points\": [\n{pts}\n      ]\n    }}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let threads_json = sweep.iter().map(usize::to_string).collect::<Vec<_>>().join(", ");
     let json = format!(
         "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \
          \"campaign\": \"coverage (evaluate_care, app_only)\",\n  \
          \"scheduler\": \"trellis\",\n  \"seed\": {seed},\n  \
-         \"threads\": {},\n  \"telemetry\": {{\n    \
+         \"threads\": [{threads_json}],\n  \"host_cpus\": {host_cpus},\n  \
+         \"telemetry\": {{\n    \
          \"schema_version\": {},\n    \"recovery_activations\": {all_act},\n    \
          \"recoveries\": {all_prep_count},\n    \
          \"prep_fraction_mean\": {suite_prep:.4},\n    \
          \"prep_over_98pct\": {all_over98},\n    \
          \"tlb_hit_rate\": {suite_hit:.6}\n  }},\n  \
+         \"scaling\": [\n{scaling}\n  ],\n  \
          \"workloads\": [\n{}\n  ]\n}}\n",
-        rayon::current_num_threads(),
         telemetry::SCHEMA_VERSION,
         entries.join(",\n")
     );
@@ -313,10 +397,12 @@ fn bench_json(injections: usize, seed: u64) {
 
 fn main() {
     let args = parse_args();
-    if let Some(t) = args.threads {
-        // The rayon shim reads CARE_THREADS when sizing its worker pool;
-        // set it before any campaign fans out.
-        std::env::set_var("CARE_THREADS", t.to_string());
+    if let Some(&t) = args.threads.first() {
+        // Pin the pool width through the race-free programmatic override
+        // (the CARE_THREADS env var is parsed once at startup, so mutating
+        // it here would be ignored). Table/figure experiments run at the
+        // first listed count; `bench-json` sweeps the whole list itself.
+        rayon::set_threads_override(Some(t));
     }
     let want = |name: &str| {
         args.experiments.iter().any(|e| e == name || e == "all")
@@ -329,7 +415,7 @@ fn main() {
 
     // Explicit-only (not part of `all`): perf measurement artefact.
     if args.experiments.iter().any(|e| e == "bench-json") {
-        bench_json(args.injections, args.seed);
+        bench_json(args.injections, args.seed, &args.threads);
         if args.experiments.iter().all(|e| e == "bench-json") {
             return;
         }

@@ -23,7 +23,13 @@ use workloads::Workload;
 ///   workload is emitted once per execution backend, and compiled rows add
 ///   `speedup_vs_interp` (simulated-instructions/s ratio at identical seed,
 ///   thread count and step counts).
-pub const BENCH_SCHEMA_VERSION: u32 = 3;
+/// * v4 — one row set per swept thread count (each row carries `threads`,
+///   per-worker `workers_busy_ns` and work-stealing pool counters), the
+///   top-level `threads` field becomes the swept list, `host_cpus` records
+///   the measurement host's core count, and a `scaling` section reports
+///   injections/s, speedup and parallel efficiency per (workload, engine)
+///   against the first swept thread count.
+pub const BENCH_SCHEMA_VERSION: u32 = 4;
 
 /// Rows of a formatted text table.
 pub struct Table {

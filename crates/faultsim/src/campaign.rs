@@ -6,12 +6,16 @@
 //! observationally identical per injection):
 //!
 //! * **Snapshot trellis** (default): all `N` injection points are sampled up
-//!   front, registered as one multi-breakpoint set, and a single instrumented
-//!   *cursor* process advances through the program once, CoW-forking a paused
-//!   snapshot each time a pending `(I, n)` fires. Workers then run only the
-//!   suffix (inject → classify → CARE-protected fork) from their snapshot, in
-//!   parallel. Campaign-wide simulated instructions drop from ~`N·L` to
-//!   ~`L + Σ suffixes`.
+//!   front and partitioned into `K` disjoint, step-ordered windows along the
+//!   golden run's checkpoint trail; `K` instrumented *cursor* processes then
+//!   advance through their windows concurrently (each fast-replays the
+//!   uninstrumented prefix to its window boundary first), CoW-forking a
+//!   paused snapshot each time a pending `(I, n)` fires. Workers then run
+//!   only the suffix (inject → classify → CARE-protected fork) from their
+//!   snapshot, in parallel on the same pool. Campaign-wide simulated
+//!   instructions drop from ~`N·L` to ~`L + Σ suffixes`, and `K > 1` removes
+//!   the serial-cursor Amdahl bottleneck (`K = 1` reproduces the original
+//!   single cursor exactly).
 //! * **Per-injection**: every injection clones the template and re-simulates
 //!   its own prefix up to the breakpoint (the pre-trellis engine, kept as the
 //!   equivalence baseline and for single-injection use via [`Campaign::run_one`]).
@@ -27,9 +31,10 @@ use safeguard::{
     run_protected_engine_with_hooks, DeclineKind, ProtectedExit, RecoveryIndex, Safeguard,
 };
 use simx::{
-    BreakSet, CompiledEngine, EngineKind, ExecutionEngine, InterpEngine, ModuleId, Process,
-    Profile, RunExit, TrapKind,
+    advance_to_step, BreakSet, CompiledEngine, EngineKind, ExecutionEngine, InterpEngine,
+    ModuleId, Process, Profile, RunExit, TrapKind,
 };
+use tinyir::FuncId;
 use std::collections::HashMap;
 use std::sync::Arc;
 use telemetry::{timed, Event, Hooks, NoTelemetry};
@@ -175,6 +180,11 @@ pub struct CampaignConfig {
     /// bit-identical on either; `Compiled` is the direct-threaded
     /// translator behind [`simx::ExecutionEngine`]).
     pub engine: EngineKind,
+    /// Trellis cursor shard count: the pre-sampled injection points are
+    /// split into this many disjoint step-ordered windows, each walked by
+    /// its own instrumented cursor, concurrently. `None` (default) uses
+    /// the pool width; records are bit-identical for every value.
+    pub cursor_shards: Option<usize>,
 }
 
 impl Default for CampaignConfig {
@@ -192,8 +202,50 @@ impl Default for CampaignConfig {
             keep_records: false,
             scheduler: Scheduler::Trellis,
             engine: EngineKind::Interp,
+            cursor_shards: None,
         }
     }
+}
+
+/// A step-indexed snapshot of the golden run's execution-count profile,
+/// captured during [`Campaign::prepare`]: `counts` holds the per-static-
+/// instruction execution totals of the first `step` dynamic instructions.
+/// The trail is what lets a cursor shard (a) fast-replay to a boundary
+/// with no instrumentation and (b) rebase its points' `nth` ordinals to
+/// breakpoint ordinals counted from that boundary.
+struct ProfileCheckpoint {
+    step: u64,
+    counts: Profile,
+}
+
+/// One planned window of the parallel cursor pass: the points firing in
+/// `(start_step, next boundary]`, walked by one instrumented cursor.
+struct CursorShard {
+    /// Golden-run step of this shard's start boundary (0 for shard 0).
+    start_step: u64,
+    /// Index into [`Campaign::checkpoints`] holding the boundary's profile
+    /// counts (`None` for shard 0: all counts zero).
+    checkpoint: Option<usize>,
+    /// The distinct injection points firing inside this window.
+    points: Vec<InjectionPoint>,
+}
+
+/// What one cursor shard produced.
+struct ShardResult {
+    /// Paused pre-injection snapshots, in firing (step) order.
+    snapshots: Vec<(InjectionPoint, Process)>,
+    /// Steps this cursor executed: boundary replay + window walk.
+    steps: u64,
+}
+
+/// Executions of `point`'s static instruction recorded in `profile`.
+fn count_at(profile: &Profile, module: ModuleId, func: FuncId, inst: usize) -> u64 {
+    profile
+        .get(module.0 as usize)
+        .and_then(|fs| fs.get(func.0 as usize))
+        .and_then(|is| is.get(inst))
+        .copied()
+        .unwrap_or(0)
 }
 
 /// A prepared campaign: compiled modules + golden data + the shared
@@ -209,6 +261,11 @@ pub struct Campaign {
     pub golden_steps: u64,
     /// Execution-count profile from the golden run.
     pub profile: Profile,
+    /// Evenly spaced mid-run profile checkpoints from the golden run, the
+    /// shard-boundary candidates for the parallel cursor pass. Empty for
+    /// programs shorter than the checkpoint quantum (those degrade to a
+    /// single cursor shard).
+    checkpoints: Vec<ProfileCheckpoint>,
     /// A started-but-not-run process; every injection clones it (Arc-shared
     /// image, copy-on-write memory) instead of re-loading the modules.
     template: Process,
@@ -225,7 +282,37 @@ impl Campaign {
         let mut p = build_process(&exe, &libs);
         p.enable_profile();
         p.start(workload.entry, &workload.args);
-        match p.run() {
+        // Drive the golden run in fixed-step slices, snapshotting the
+        // profile at each pause: the checkpoint trail the parallel cursor
+        // pass cuts its shard boundaries from. The trail stays bounded for
+        // any program length by halving (keep every second checkpoint,
+        // double the quantum) whenever it fills.
+        const MAX_CHECKPOINTS: usize = 96;
+        let mut checkpoints: Vec<ProfileCheckpoint> = Vec::new();
+        let mut quantum: u64 = 1 << 10;
+        let exit = loop {
+            p.fuel = quantum;
+            match p.run() {
+                RunExit::Trapped(t) if t.kind == TrapKind::OutOfFuel => {
+                    // The pause is bookkeeping, not an observed trap.
+                    p.trap_count -= 1;
+                    checkpoints.push(ProfileCheckpoint {
+                        step: p.steps,
+                        counts: p.profile.clone().expect("profile enabled"),
+                    });
+                    if checkpoints.len() == MAX_CHECKPOINTS {
+                        let mut nth = 0;
+                        checkpoints.retain(|_| {
+                            nth += 1;
+                            nth % 2 == 0
+                        });
+                        quantum *= 2;
+                    }
+                }
+                other => break other,
+            }
+        };
+        match exit {
             RunExit::Done(_) => {}
             other => panic!("golden run of {} failed: {other:?}", workload.name),
         }
@@ -251,6 +338,7 @@ impl Campaign {
             golden_outputs,
             golden_steps: p.steps,
             profile: p.profile.take().expect("profile enabled"),
+            checkpoints,
             template,
             recovery: Arc::new(recovery),
         }
@@ -516,55 +604,45 @@ impl Campaign {
                 .collect()
         });
 
-        // Phase 2 — register each *distinct* point once. Injection indexes
-        // that sampled the same `(I, n)` share one trellis snapshot.
-        let mut breaks = BreakSet::new();
-        for (point, _) in &samples {
-            breaks.add(point.module, point.func, point.inst, point.nth);
-        }
+        // Phase 2 — shard planning: partition the *distinct* points
+        // (injection indexes that sampled the same `(I, n)` share one
+        // trellis snapshot) into disjoint step-ordered windows along the
+        // golden checkpoint trail.
+        let shards = self.plan_cursor_shards(cfg, &samples);
+        let cursor_shards = shards.iter().filter(|s| !s.points.is_empty()).count();
 
-        // Phase 3 — the cursor pass: one instrumented traversal of the
-        // program under the campaign fuel budget, forking a paused snapshot
-        // at every firing point. The snapshot drops the multi-breakpoint
-        // set, so suffix forks run in the hook-free fast loop; the cursor is
-        // dropped as soon as the last pending point fires (the golden tail
-        // past the final injection point is never re-simulated).
+        // Phase 3 — the cursor pass, one instrumented traversal *per
+        // shard*, run concurrently on the pool. Each cursor fast-replays
+        // (uninstrumented, so a compiled campaign replays compiled) to its
+        // window boundary, arms a BreakSet holding only its own points
+        // with ordinals rebased to the boundary's profile counts, and
+        // forks a paused snapshot at every firing point, under the
+        // campaign fuel budget. Deterministic execution makes every
+        // cursor's timeline *the* golden timeline, so the snapshot forked
+        // for a point is bit-identical for every shard count — `K = 1`
+        // degrades to exactly the original single cursor. A shard's cursor
+        // is dropped as soon as its last pending point fires (the window
+        // tail past it is never re-simulated), and empty shards never run.
+        let shard_results: Vec<ShardResult> = timed(hooks, "trellis.cursor_ns", || {
+            let work: Vec<(usize, CursorShard)> = shards
+                .into_iter()
+                .enumerate()
+                .filter(|(_, s)| !s.points.is_empty())
+                .collect();
+            work.into_par_iter()
+                .map(|(k, shard)| self.run_cursor_shard(cfg, k, shard, engine, hooks))
+                .collect()
+        });
         let mut snapshots: Vec<Process> = Vec::new();
         let mut snapshot_of: HashMap<InjectionPoint, usize> = HashMap::new();
-        let cursor_steps = timed(hooks, "trellis.cursor_ns", || {
-            let mut cursor = self.template.clone();
-            cursor.fuel = self.fuel_budget(cfg);
-            cursor.multi_break = Some(breaks);
-            while !cursor.multi_break.as_ref().expect("trellis cursor").is_empty() {
-                match cursor.run() {
-                    RunExit::BreakHit => {
-                        let (module, func, inst, nth) = cursor
-                            .multi_break
-                            .as_mut()
-                            .expect("trellis cursor")
-                            .take_fired()
-                            .expect("BreakHit reports its firing point");
-                        let mut snap = cursor.clone();
-                        snap.multi_break = None;
-                        snapshot_of
-                            .insert(InjectionPoint { module, func, inst, nth }, snapshots.len());
-                        snapshots.push(snap);
-                        if H::ENABLED {
-                            hooks.emit(|| {
-                                Event::new("trellis.fork")
-                                    .field("snapshot", snapshots.len() - 1)
-                                    .field("prefix_steps", cursor.steps)
-                            });
-                        }
-                    }
-                    // Completion (or a trap) with points still pending: those
-                    // indexes yield no record, exactly like a `run_one` whose
-                    // breakpoint never fired.
-                    _ => break,
-                }
+        let mut cursor_steps = 0u64;
+        for res in shard_results {
+            cursor_steps += res.steps;
+            for (point, snap) in res.snapshots {
+                snapshot_of.insert(point, snapshots.len());
+                snapshots.push(snap);
             }
-            cursor.steps
-        });
+        }
 
         // Phase 4 — suffix scheduling: rayon-parallel over injection
         // indexes (order-preserving, so records match the per-injection
@@ -603,15 +681,152 @@ impl Campaign {
 
         let mut report = CampaignReport::from_records(records);
         // The attributed per-record prefixes were simulated once, by the
-        // cursor: report what actually executed.
+        // cursor shards: report what actually executed (replay + window
+        // steps summed over the shards that had points).
         report.trellis_snapshots = trellis_snapshots;
+        report.cursor_shards = cursor_shards;
         report.steps_prefix = cursor_steps;
         report.simulated_steps = cursor_steps + report.steps_suffix + report.steps_care;
         if H::ENABLED {
             hooks.add("trellis.snapshots", trellis_snapshots as u64);
             hooks.add("trellis.cursor_steps", cursor_steps);
+            hooks.add("trellis.shards", cursor_shards as u64);
         }
         report
+    }
+
+    /// Split the sampled points into disjoint, step-ordered cursor shards.
+    ///
+    /// Shard `k` covers the golden-run window `(b_k, b_{k+1}]` between two
+    /// checkpoint boundaries (shard 0 starts at step 0); a point belongs
+    /// to the shard in whose window its `nth` firing falls, which the
+    /// boundary profiles decide exactly: the firing is past boundary `b`
+    /// iff `counts_b[point] < nth`. Boundaries are cut from the checkpoint
+    /// trail nearest the ideal `golden_steps / K` splits, so short
+    /// programs (no checkpoints) or `K = 1` yield a single full-range
+    /// shard.
+    fn plan_cursor_shards(
+        &self,
+        cfg: &CampaignConfig,
+        samples: &[(InjectionPoint, SmallRng)],
+    ) -> Vec<CursorShard> {
+        let k = cfg.cursor_shards.unwrap_or_else(rayon::current_num_threads).max(1);
+        let mut shards =
+            vec![CursorShard { start_step: 0, checkpoint: None, points: Vec::new() }];
+        for j in 1..k as u64 {
+            let ideal = (self.golden_steps / k as u64).saturating_mul(j);
+            let idx = self.checkpoints.partition_point(|c| c.step <= ideal);
+            if idx == 0 {
+                continue;
+            }
+            let step = self.checkpoints[idx - 1].step;
+            if step > shards.last().expect("shard 0").start_step {
+                shards.push(CursorShard {
+                    start_step: step,
+                    checkpoint: Some(idx - 1),
+                    points: Vec::new(),
+                });
+            }
+        }
+        let mut seen: std::collections::HashSet<InjectionPoint> = std::collections::HashSet::new();
+        for (point, _) in samples {
+            if !seen.insert(*point) {
+                continue;
+            }
+            // Sampling draws `nth` from the final profile, so every point
+            // fires within the golden run; walk the boundaries to find the
+            // last one the firing is past.
+            let mut home = 0;
+            for (s, shard) in shards.iter().enumerate().skip(1) {
+                let ci = shard.checkpoint.expect("non-zero shards carry a checkpoint");
+                let at = count_at(&self.checkpoints[ci].counts, point.module, point.func, point.inst);
+                if at < point.nth {
+                    home = s;
+                } else {
+                    break;
+                }
+            }
+            shards[home].points.push(*point);
+        }
+        shards
+    }
+
+    /// Walk one cursor shard: replay to the window boundary, arm the
+    /// shard's (rebased) breakpoints, and fork a paused snapshot per
+    /// firing point. Returns the snapshots in firing order plus the steps
+    /// this cursor actually executed (replay + window).
+    fn run_cursor_shard<H: Hooks>(
+        &self,
+        cfg: &CampaignConfig,
+        shard_idx: usize,
+        shard: CursorShard,
+        engine: &dyn ExecutionEngine,
+        hooks: &H,
+    ) -> ShardResult {
+        let t0 = H::ENABLED.then(std::time::Instant::now);
+        let mut cursor = self.template.clone();
+        cursor.fuel = self.fuel_budget(cfg);
+        if shard.start_step > 0 && !advance_to_step(engine, &mut cursor, shard.start_step) {
+            // Unreachable for a prepared campaign (the golden run passed
+            // and the budget covers it); degrade like an unfired
+            // breakpoint: the shard's indexes yield no record.
+            return ShardResult { snapshots: Vec::new(), steps: cursor.steps };
+        }
+        let replay_steps = cursor.steps;
+        let start_counts = shard.checkpoint.map(|ci| &self.checkpoints[ci].counts);
+        let mut breaks = BreakSet::new();
+        for p in &shard.points {
+            // Breakpoint ordinals count from arming: rebase the absolute
+            // `nth` by the executions already behind the boundary.
+            let base = start_counts.map_or(0, |c| count_at(c, p.module, p.func, p.inst));
+            breaks.add(p.module, p.func, p.inst, p.nth - base);
+        }
+        cursor.multi_break = Some(breaks);
+        let mut snapshots: Vec<(InjectionPoint, Process)> = Vec::new();
+        while !cursor.multi_break.as_ref().expect("shard cursor").is_empty() {
+            match cursor.run() {
+                RunExit::BreakHit => {
+                    let (module, func, inst, rel) = cursor
+                        .multi_break
+                        .as_mut()
+                        .expect("shard cursor")
+                        .take_fired()
+                        .expect("BreakHit reports its firing point");
+                    let base = start_counts.map_or(0, |c| count_at(c, module, func, inst));
+                    let point = InjectionPoint { module, func, inst, nth: rel + base };
+                    let mut snap = cursor.clone();
+                    snap.multi_break = None;
+                    if H::ENABLED {
+                        hooks.emit(|| {
+                            Event::new("trellis.fork")
+                                .field("shard", shard_idx as u64)
+                                .field("prefix_steps", cursor.steps)
+                        });
+                    }
+                    snapshots.push((point, snap));
+                }
+                // Completion (or a trap) with points still pending: those
+                // indexes yield no record, exactly like a `run_one` whose
+                // breakpoint never fired.
+                _ => break,
+            }
+        }
+        if H::ENABLED {
+            hooks.add("cursor.replay_steps", replay_steps);
+            hooks.add("cursor.window_steps", cursor.steps - replay_steps);
+            hooks.record(
+                "trellis.shard_ns",
+                t0.expect("enabled").elapsed().as_nanos() as u64,
+            );
+            hooks.emit(|| {
+                Event::new("trellis.shard")
+                    .field("shard", shard_idx as u64)
+                    .field("start_step", shard.start_step)
+                    .field("window_steps", cursor.steps - replay_steps)
+                    .field("snapshots", snapshots.len() as u64)
+            });
+        }
+        ShardResult { snapshots, steps: cursor.steps }
     }
 
     /// Run the full campaign under [`CampaignConfig::scheduler`].
@@ -647,10 +862,20 @@ impl Campaign {
             None
         };
         let engine = engine_ref(&compiled);
+        let pool0 = H::ENABLED.then(rayon::pool_stats);
         let mut report = match cfg.scheduler {
             Scheduler::Trellis => self.run_trellis(cfg, engine, hooks),
             Scheduler::PerInjection => self.run_per_injection(cfg, engine, hooks),
         };
+        if let Some(p0) = pool0 {
+            // Work-stealing pool activity attributable to this campaign
+            // (the pool is process-wide, so these are deltas).
+            let p1 = rayon::pool_stats();
+            hooks.add("pool.batches", p1.batches.saturating_sub(p0.batches));
+            hooks.add("pool.chunks", p1.chunks.saturating_sub(p0.chunks));
+            hooks.add("pool.steals", p1.steals.saturating_sub(p0.steals));
+            hooks.add("pool.workers", p1.workers as u64);
+        }
         if H::ENABLED {
             hooks.add("campaign.injections", cfg.injections as u64);
             hooks.add("campaign.classified", report.total() as u64);
@@ -781,6 +1006,9 @@ pub struct CampaignReport {
     /// per-injection scheduler); strictly less than the classified total
     /// whenever injection indexes sampled duplicate points.
     pub trellis_snapshots: usize,
+    /// Cursor shards that actually ran (had points) in the trellis cursor
+    /// pass; 0 under the per-injection scheduler.
+    pub cursor_shards: usize,
     /// Raw records; populated only when [`CampaignConfig::keep_records`]
     /// is set.
     pub records: Vec<InjectionRecord>,
@@ -981,6 +1209,53 @@ mod scheduler_tests {
             legacy.records.iter().map(|r| r.sim_steps).sum::<u64>(),
             trellis.records.iter().map(|r| r.sim_steps).sum::<u64>()
         );
+    }
+
+    /// The parallel cursor pass is invisible in the records: any explicit
+    /// shard count reproduces the single cursor bit for bit, each shard
+    /// replays its boundary prefix (so the executed-prefix accounting
+    /// grows with K while attributed records stay fixed), and snapshots
+    /// dedup across shards exactly as before.
+    #[test]
+    fn sharded_cursors_match_single_cursor_and_split_the_prefix() {
+        let w = workloads::hpccg::build(3, 2);
+        let app = care::compile(&w.module, OptLevel::O1);
+        let campaign = Campaign::prepare(&w, app, vec![]);
+        assert!(
+            !campaign.checkpoints.is_empty(),
+            "test premise: hpccg(3,2) must outrun the checkpoint quantum"
+        );
+        let config = |shards| CampaignConfig { cursor_shards: Some(shards), ..cfg(60, Scheduler::Trellis) };
+        let single = campaign.run(&config(1));
+        assert_eq!(single.cursor_shards, 1);
+        for k in [2, 4, 16] {
+            let sharded = campaign.run(&config(k));
+            assert_eq!(single.records, sharded.records, "records diverged at {k} shards");
+            assert_eq!(single.trellis_snapshots, sharded.trellis_snapshots);
+            assert!(
+                sharded.cursor_shards > 1 && sharded.cursor_shards <= k,
+                "expected multiple populated shards at K={k}, got {}",
+                sharded.cursor_shards
+            );
+            // Replayed boundary prefixes are extra *executed* steps, and
+            // only they: the suffix/CARE stages are untouched.
+            assert!(sharded.steps_prefix > single.steps_prefix);
+            assert_eq!(single.steps_suffix, sharded.steps_suffix);
+            assert_eq!(single.steps_care, sharded.steps_care);
+        }
+    }
+
+    /// Sharding follows the pool width when `cursor_shards` is `None`.
+    #[test]
+    fn default_shard_count_tracks_the_pool_width() {
+        let w = workloads::hpccg::build(3, 2);
+        let app = care::compile(&w.module, OptLevel::O1);
+        let campaign = Campaign::prepare(&w, app, vec![]);
+        let base = rayon::with_threads(1, || campaign.run(&cfg(40, Scheduler::Trellis)));
+        assert_eq!(base.cursor_shards, 1);
+        let wide = rayon::with_threads(4, || campaign.run(&cfg(40, Scheduler::Trellis)));
+        assert!(wide.cursor_shards > 1, "4-thread run stayed single-sharded");
+        assert_eq!(base.records, wide.records);
     }
 
     /// Suffix forks budget fuel against *remaining* steps: every record's

@@ -148,6 +148,40 @@ impl ExecutionEngine for CompiledEngine {
     }
 }
 
+/// Advance `p` to exactly `target` executed steps on `engine` and pause,
+/// leaving the process indistinguishable from one that stopped there by
+/// breakpoint: `steps == target`, the PC frozen on the next instruction,
+/// `fuel` charged for exactly the steps executed, and `trap_count`
+/// untouched (the internal out-of-fuel pause is an implementation detail,
+/// not an observed trap). Because the run is uninstrumented, a compiled
+/// engine replays at full translated speed.
+///
+/// Returns `false` — with the process state unspecified beyond its exit —
+/// when the program completes, traps, or runs out of the *caller's* fuel
+/// at or before `target`; none of these can happen when replaying a
+/// deterministic program known to run strictly past `target` steps.
+pub fn advance_to_step(engine: &dyn ExecutionEngine, p: &mut Process, target: u64) -> bool {
+    if p.steps >= target {
+        return p.steps == target;
+    }
+    let need = target - p.steps;
+    let fuel_before = p.fuel;
+    if fuel_before < need {
+        return false;
+    }
+    let traps_before = p.trap_count;
+    p.fuel = need;
+    let paused = matches!(
+        engine.run(p),
+        RunExit::Trapped(Trap { kind: TrapKind::OutOfFuel, .. })
+    ) && p.steps == target;
+    if paused {
+        p.trap_count = traps_before;
+        p.fuel = fuel_before - need;
+    }
+    paused
+}
+
 /// Why a segment execution stopped.
 enum SegEvent {
     /// Control transferred (or ran off the translation); `frame.idx` holds

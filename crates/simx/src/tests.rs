@@ -1018,3 +1018,52 @@ fn engine_kind_parses_stable_names() {
     assert_eq!(EngineKind::Compiled.name(), "compiled");
     assert_eq!(InterpEngine.name(), "interp");
 }
+
+#[test]
+fn advance_to_step_is_indistinguishable_from_a_continuous_run() {
+    // Replaying to a mid-run step and continuing must reproduce the
+    // continuous run's exact state — steps, fuel, trap_count, frames and
+    // memory — on both engines; that is the contract the sharded trellis
+    // cursors rest on.
+    let mm = engine_fixture();
+    let mut full = Process::new(Arc::clone(&mm), vec![]);
+    full.start("main", &[12, 64, 0]);
+    full.fuel = 1 << 20;
+    let full_exit = full.run();
+    assert!(matches!(full_exit, RunExit::Done(_)));
+    let total = full.steps;
+    let interp: &dyn ExecutionEngine = &InterpEngine;
+    let base = {
+        let mut p = Process::new(Arc::clone(&mm), vec![]);
+        p.start("main", &[12, 64, 0]);
+        p.fuel = 1 << 20;
+        p
+    };
+    let compiled = CompiledEngine::for_image(&base.image);
+    for engine in [interp, &compiled as &dyn ExecutionEngine] {
+        for target in [0, 1, total / 3, total / 2, total - 1] {
+            let mut p = base.clone();
+            assert!(advance_to_step(engine, &mut p, target), "pause at {target} failed");
+            assert_eq!(p.steps, target);
+            assert_eq!(p.fuel, (1 << 20) - target, "fuel must charge exactly the replay");
+            assert_eq!(p.trap_count, 0, "the internal pause must not count as a trap");
+            let exit = engine.run(&mut p);
+            assert_eq!(exit, full_exit, "{} diverged after pause at {target}", engine.name());
+            assert_eq!(p.steps, total);
+            assert_eq!(p.fuel, full.fuel);
+            assert_eq!(frame_states(&p), frame_states(&full));
+            assert_eq!(p.snapshot_global("arr", 512), full.snapshot_global("arr", 512));
+        }
+    }
+    // A pause is only possible strictly inside the run: at `total` the
+    // program completes as the replay fuel runs out, and past-the-end
+    // targets can never be reached.
+    let mut p = base.clone();
+    assert!(!advance_to_step(interp, &mut p, total));
+    let mut p = base.clone();
+    assert!(matches!(p.run(), RunExit::Done(_)));
+    assert!(!advance_to_step(interp, &mut p, total + 10));
+    let mut p = base.clone();
+    p.fuel = 5;
+    assert!(!advance_to_step(interp, &mut p, total / 2));
+}

@@ -8,7 +8,10 @@
 //! worker replays its own prefix) and once under the snapshot-trellis
 //! scheduler (one shared instrumented cursor pass, CoW forks at the pending
 //! injection points), and the two must agree record for record — the
-//! equivalence the trellis optimisation promises. Exits nonzero (assert) if
+//! equivalence the trellis optimisation promises. The trellis campaign is
+//! then repeated at 1 and 4 pool threads, which must also agree bit for
+//! bit (the sharded cursor pass and the work-stealing pool are pure
+//! wall-clock optimisations). Exits nonzero (assert) if
 //! the pipeline stops covering faults or the schedulers diverge — the
 //! regressions a unit suite can miss, because they need the compiler, the
 //! interpreter fast path, the campaign engine and Safeguard all working
@@ -98,6 +101,26 @@ fn main() {
          per-injection prefix replay ({} vs {})",
         r.simulated_steps,
         legacy.simulated_steps
+    );
+    // Thread-count independence: the sharded cursor pass and the
+    // work-stealing pool must be invisible in the records — a 1-thread run
+    // (one cursor, inline suffixes) and a 4-thread run (sharded cursors,
+    // pooled suffixes) agree bit for bit. CI additionally runs this whole
+    // example under CARE_THREADS=4.
+    let narrow = rayon::with_threads(1, || campaign.run(&cfg(Scheduler::Trellis)));
+    let wide = rayon::with_threads(4, || campaign.run(&cfg(Scheduler::Trellis)));
+    assert_eq!(narrow.cursor_shards, 1, "1 thread must run a single cursor");
+    assert!(
+        wide.cursor_shards > 1,
+        "4-thread trellis never sharded the cursor pass"
+    );
+    assert_eq!(
+        narrow.records, wide.records,
+        "records must be identical at 1 and 4 threads"
+    );
+    println!(
+        "threads: 1-thread ({} shard) and 4-thread ({} shards) records identical",
+        narrow.cursor_shards, wide.cursor_shards
     );
     println!("smoke campaign OK (both schedulers agree)");
 }

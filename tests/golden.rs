@@ -117,6 +117,50 @@ fn trellis_records_match_legacy_on_all_workloads() {
     }
 }
 
+/// The sharded cursor pass must be an observational no-op at every pool
+/// width: for every workload, a trellis campaign run at 2 and 8 threads
+/// (which shards the instrumented cursor pass along the golden-run
+/// checkpoint trail) produces records bit-identical to the 1-thread
+/// single-cursor run. Only the wall-clock shape may differ (K concurrent
+/// window walks plus fast replays instead of one long walk).
+#[test]
+fn sharded_trellis_matches_single_cursor_on_all_workloads() {
+    let small: Vec<(&str, workloads::Workload)> = vec![
+        ("HPCCG", workloads::hpccg::build(3, 2)),
+        ("CoMD", workloads::comd::build(16, 2, 1)),
+        ("miniFE", workloads::minife::build(2, 2)),
+        ("miniMD", workloads::minimd::build(16, 1)),
+        ("GTC-P", workloads::gtcp::build(4, 2, 16, 1)),
+    ];
+    for (name, w) in small {
+        let app = care::compile(&w.module, OptLevel::O1);
+        let campaign = Campaign::prepare(&w, app, vec![]);
+        let single = rayon::with_threads(1, || {
+            run_records(&campaign, 40, 0xCA2E, Scheduler::Trellis)
+        });
+        assert_eq!(single.cursor_shards, 1, "{name}: 1 thread must mean 1 shard");
+        for threads in [2usize, 8] {
+            let sharded = rayon::with_threads(threads, || {
+                run_records(&campaign, 40, 0xCA2E, Scheduler::Trellis)
+            });
+            assert_eq!(
+                single.records, sharded.records,
+                "{name}: records diverged at {threads} threads"
+            );
+            assert_eq!(
+                (single.steps_suffix, single.steps_care, single.trellis_snapshots),
+                (sharded.steps_suffix, sharded.steps_care, sharded.trellis_snapshots),
+                "{name}: step accounting diverged at {threads} threads"
+            );
+            assert!(
+                sharded.cursor_shards <= threads,
+                "{name}: more shards ({}) than threads ({threads})",
+                sharded.cursor_shards
+            );
+        }
+    }
+}
+
 /// The compiled direct-threaded engine must be an observational no-op on
 /// full campaigns: for every workload, under *both* schedulers, the
 /// per-injection records — injection point, landing site, outcome,
@@ -156,9 +200,10 @@ fn compiled_engine_records_match_interpreter_on_all_workloads() {
 
 /// The committed `BENCH_campaign.json` must carry the current schema
 /// version (bumped in `bench::BENCH_SCHEMA_VERSION` whenever the shape
-/// changes) and the telemetry sections the v2 schema introduced. Regenerate
-/// with `cargo run --release -p bench --bin repro -- bench-json` after an
-/// intentional schema change.
+/// changes), the telemetry sections the v2 schema introduced and the v4
+/// thread sweep (per-row `threads`, pool counters and the `scaling`
+/// section). Regenerate with `cargo run --release -p bench --bin repro --
+/// bench-json --threads 1,4,16` after an intentional schema change.
 #[test]
 fn committed_bench_json_matches_schema_version() {
     let text = std::fs::read_to_string(concat!(
@@ -177,13 +222,67 @@ fn committed_bench_json_matches_schema_version() {
         tel.get("schema_version").and_then(|v| v.as_f64()),
         Some(telemetry::SCHEMA_VERSION as f64),
     );
+    // v4: the top-level `threads` field is the swept list, `host_cpus`
+    // records the measurement host and a `scaling` section condenses the
+    // sweep per (workload, engine).
+    let swept: Vec<u64> = match doc.get("threads") {
+        Some(telemetry::Json::Arr(ts)) => ts
+            .iter()
+            .map(|t| t.as_f64().expect("thread count is a number") as u64)
+            .collect(),
+        other => panic!("v4 threads should be an array, got {other:?}"),
+    };
+    assert!(!swept.is_empty(), "v4 artefact must sweep at least one thread count");
+    assert!(
+        doc.get("host_cpus").and_then(|v| v.as_f64()).expect("host_cpus") >= 1.0,
+        "host_cpus out of range"
+    );
+    match doc.get("scaling") {
+        Some(telemetry::Json::Arr(entries)) => {
+            assert!(!entries.is_empty(), "scaling section is empty");
+            for entry in entries {
+                for key in ["workload", "engine"] {
+                    assert!(entry.get(key).is_some(), "scaling entry missing {key:?}");
+                }
+                let points = match entry.get("points") {
+                    Some(telemetry::Json::Arr(p)) => p,
+                    other => panic!("scaling points should be an array, got {other:?}"),
+                };
+                assert_eq!(points.len(), swept.len(), "one scaling point per swept count");
+                for p in points {
+                    for key in ["threads", "injections_per_sec", "speedup", "efficiency"] {
+                        let v = p.get(key).and_then(|v| v.as_f64());
+                        assert!(v.is_some_and(|v| v > 0.0), "scaling point {key:?} invalid");
+                    }
+                }
+            }
+        }
+        other => panic!("v4 scaling should be an array, got {other:?}"),
+    }
     match doc.get("workloads") {
         Some(telemetry::Json::Arr(rows)) => {
             assert!(!rows.is_empty());
             let mut compiled_rows = 0usize;
+            let mut row_threads = Vec::new();
             for row in rows {
-                for key in ["workload", "engine", "declines", "tlb", "recovery"] {
+                for key in [
+                    "workload",
+                    "engine",
+                    "declines",
+                    "tlb",
+                    "recovery",
+                    "workers_busy_ns",
+                    "pool",
+                    "cursor_shards",
+                ] {
                     assert!(row.get(key).is_some(), "workload row missing {key:?}");
+                }
+                let t = row
+                    .get("threads")
+                    .and_then(|v| v.as_f64())
+                    .expect("v4 row carries its thread count") as u64;
+                if !row_threads.contains(&t) {
+                    row_threads.push(t);
                 }
                 let hit = row
                     .get("tlb")
@@ -204,6 +303,10 @@ fn committed_bench_json_matches_schema_version() {
             assert!(
                 compiled_rows > 0,
                 "v3 artefact must carry compiled-engine rows"
+            );
+            assert_eq!(
+                row_threads, swept,
+                "row thread counts disagree with the top-level sweep"
             );
         }
         other => panic!("workloads should be an array, got {other:?}"),
@@ -297,5 +400,38 @@ proptest! {
         let compiled =
             campaign.run(&CampaignConfig { engine: EngineKind::Compiled, ..cfg });
         prop_assert_eq!(&interp.records, &compiled.records);
+    }
+
+    /// Shard-count independence of the sharded cursor pass: any explicit
+    /// shard count (including degenerate K=1 and K far above the number of
+    /// checkpoints), at any seed and hang budget, yields the exact record
+    /// stream of the single-cursor walk. Exercises arbitrary window
+    /// boundaries along the checkpoint trail and the dedup/home-shard
+    /// assignment of repeated injection points.
+    #[test]
+    fn sharded_cursors_match_at_random_shard_counts(
+        seed in any::<u64>(),
+        shards in 2usize..9,
+        hang_factor in 1u64..30,
+    ) {
+        let campaign = tiny_campaign();
+        let cfg = CampaignConfig {
+            injections: 20,
+            model: FaultModel::SingleBit,
+            seed,
+            evaluate_care: true,
+            app_only: true,
+            keep_records: true,
+            hang_factor,
+            scheduler: Scheduler::Trellis,
+            cursor_shards: Some(1),
+            ..CampaignConfig::default()
+        };
+        let single = campaign.run(&cfg);
+        let sharded =
+            campaign.run(&CampaignConfig { cursor_shards: Some(shards), ..cfg });
+        prop_assert_eq!(&single.records, &sharded.records);
+        prop_assert_eq!(single.steps_suffix, sharded.steps_suffix);
+        prop_assert_eq!(single.steps_care, sharded.steps_care);
     }
 }

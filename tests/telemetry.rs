@@ -140,6 +140,58 @@ fn compiled_campaign_reports_engine_counters() {
     }
 }
 
+/// At four threads the campaign actually spreads across the persistent
+/// pool, and the sharded cursor pass reconciles with the step accounting:
+///
+/// * at least two telemetry shards (each shard is one thread) carry
+///   nonzero `worker.busy_ns` — the suffix/CARE jobs did not all run on
+///   the caller;
+/// * the per-shard cursor spans (`cursor.replay_steps` +
+///   `cursor.window_steps`, summed over shards) equal the campaign's
+///   `steps_prefix` exactly — the K window walks plus their fast replays
+///   account for every prefix step;
+/// * the `trellis.shards` counter agrees with the report.
+#[test]
+fn four_thread_campaign_spreads_work_across_pool_shards() {
+    let w = workloads::hpccg::build(3, 2);
+    let app = care::compile(&w.module, OptLevel::O1);
+    let campaign = Campaign::prepare(&w, app, vec![]);
+    let rec = Recorder::new();
+    let report = rayon::with_threads(4, || {
+        campaign.run_with_hooks(
+            &CampaignConfig {
+                injections: 80,
+                model: FaultModel::SingleBit,
+                seed: 0xCA2E,
+                evaluate_care: true,
+                app_only: true,
+                ..CampaignConfig::default()
+            },
+            &rec,
+        )
+    });
+    let tel = rec.drain();
+    let ctr = |n: &str| tel.counters.get(n).copied().unwrap_or(0);
+    assert!(report.cursor_shards > 1, "4-thread trellis did not shard the cursor");
+    assert_eq!(ctr("trellis.shards"), report.cursor_shards as u64);
+    assert_eq!(
+        ctr("cursor.replay_steps") + ctr("cursor.window_steps"),
+        report.steps_prefix,
+        "sharded cursor spans do not reconcile with the prefix step count"
+    );
+    assert!(ctr("cursor.replay_steps") > 0, "no shard fast-replayed to its boundary");
+    let busy_shards = tel
+        .per_shard_counters
+        .iter()
+        .filter(|m| m.get("worker.busy_ns").copied().unwrap_or(0) > 0)
+        .count();
+    assert!(
+        busy_shards >= 2,
+        "suffix work stayed on {busy_shards} thread(s); pool never engaged"
+    );
+    assert!(ctr("pool.chunks") > 0, "no chunks went through the work-stealing pool");
+}
+
 #[test]
 fn instruction_mix_and_step_split_cover_the_campaign() {
     let tel = traced_hpccg_campaign(60);
