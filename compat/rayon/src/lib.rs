@@ -382,6 +382,22 @@ mod tests {
     }
 
     #[test]
+    fn steal_heavy_batches_never_deadlock() {
+        // Regression canary for an ABBA deadlock in the steal scan: a
+        // participant used to hold its own (empty) deque's lock while
+        // probing victims, so two participants scanning concurrently could
+        // wait on each other forever. Tiny batches at full width maximise
+        // the number of simultaneous empty-deque scans.
+        crate::with_threads(4, || {
+            for round in 0..300usize {
+                let out: Vec<usize> =
+                    (0..8usize).into_par_iter().map(|i| i.wrapping_add(round)).collect();
+                assert_eq!(out, (0..8usize).map(|i| i.wrapping_add(round)).collect::<Vec<_>>());
+            }
+        });
+    }
+
+    #[test]
     fn filter_map_preserves_order_and_drops() {
         let out: Vec<usize> = (0..100usize)
             .into_par_iter()

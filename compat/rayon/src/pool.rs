@@ -170,7 +170,14 @@ fn run_chunks(pool: &Pool, batch: &Batch, me: usize) {
     let n = batch.deques.len();
     loop {
         let mut stolen = false;
-        let chunk = lock(&batch.deques[me]).pop_front().or_else(|| {
+        // Pop the own deque in its own statement: the guard must be dropped
+        // before the steal scan. Folding both into one expression keeps the
+        // own-deque guard (a statement-scoped temporary) alive across the
+        // scan, and two participants stealing concurrently then hold their
+        // own lock while waiting on each other's — an ABBA deadlock. No
+        // participant may ever hold two deque locks at once.
+        let own = lock(&batch.deques[me]).pop_front();
+        let chunk = own.or_else(|| {
             (1..n).find_map(|d| {
                 let c = lock(&batch.deques[(me + d) % n]).pop_back();
                 stolen |= c.is_some();

@@ -8,7 +8,20 @@
 //!              fig7 fig9 fig10 fig12 declines all   (default: all)
 //!              bench-json   (explicit only: writes BENCH_campaign.json
 //!                            with campaign-throughput measurements)
+//!
+//! repro serve  [--addr HOST:PORT] [--budget-cap N] [--max-queue N]
+//! repro submit [--addr HOST:PORT] [--workload NAME] [--params A,B,..]
+//!              [--injections N] [--seed S] [--engine E] [--scheduler S]
+//!              [--opt O0|O1] [--job-threads N] [--stats]
+//!              [--bench [--clients C] [--jobs J]]
 //! ```
+//!
+//! `serve` runs the `careserve` campaign server until killed. `submit`
+//! sends one job to a running server and prints its report; `--stats`
+//! fetches the server's counter snapshot instead. `submit --bench` times a
+//! concurrent small-job batch (spawning a loopback server when `--addr` is
+//! not given) and merges a `service` section into `BENCH_campaign.json`
+//! (schema v5).
 //!
 //! `--threads` takes a comma list: `bench-json` emits one BENCH row set per
 //! listed thread count in a single invocation (default sweep `1,4,16`);
@@ -88,7 +101,9 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--injections N] [--seed S] [--threads N[,N,...]] [--engine interp|compiled] [--telemetry OUT.jsonl] [table2|table3|table4|table5|table8|table9|table10|table11|fig7|fig9|fig10|fig12|declines|bench-json|all]..."
+                    "usage: repro [--injections N] [--seed S] [--threads N[,N,...]] [--engine interp|compiled] [--telemetry OUT.jsonl] [table2|table3|table4|table5|table8|table9|table10|table11|fig7|fig9|fig10|fig12|declines|bench-json|all]...\n       \
+                     repro serve  [--addr HOST:PORT] [--budget-cap N] [--max-queue N]\n       \
+                     repro submit [--addr HOST:PORT] [--workload NAME] [--params A,B,..] [--injections N] [--seed S] [--engine E] [--scheduler S] [--opt O0|O1] [--job-threads N] [--stats] [--bench [--clients C] [--jobs J]]"
                 );
                 std::process::exit(0);
             }
@@ -395,7 +410,407 @@ fn bench_json(injections: usize, seed: u64, cli_threads: &[usize]) {
     eprintln!("[repro] wrote BENCH_campaign.json");
 }
 
+/// Shared option surface of `repro serve` and `repro submit`.
+struct ServeArgs {
+    addr: String,
+    /// Whether `--addr` was given explicitly (submit --bench spawns a
+    /// loopback server only when it was not).
+    addr_given: bool,
+    budget_cap: usize,
+    max_queue: usize,
+    spec: careserve::JobSpec,
+    stats_only: bool,
+    bench: bool,
+    clients: usize,
+    jobs: usize,
+}
+
+fn parse_serve_args(args: &[String]) -> ServeArgs {
+    let mut out = ServeArgs {
+        addr: "127.0.0.1:4150".to_string(),
+        addr_given: false,
+        budget_cap: 0,
+        max_queue: 8,
+        spec: careserve::JobSpec::default(),
+        stats_only: false,
+        bench: false,
+        clients: 4,
+        jobs: 6,
+    };
+    let mut workload: Option<String> = None;
+    let mut params: Option<Vec<i64>> = None;
+    let mut it = args.iter();
+    let usage = "see repro --help";
+    fn num(it: &mut std::slice::Iter<'_, String>, what: &str) -> usize {
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| panic!("{what} N"))
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                out.addr = it.next().unwrap_or_else(|| panic!("--addr HOST:PORT")).clone();
+                out.addr_given = true;
+            }
+            "--budget-cap" => out.budget_cap = num(&mut it, "--budget-cap"),
+            "--max-queue" => out.max_queue = num(&mut it, "--max-queue"),
+            "--injections" => out.spec.injections = num(&mut it, "--injections"),
+            "--job-threads" => out.spec.threads = num(&mut it, "--job-threads"),
+            "--clients" => out.clients = num(&mut it, "--clients").max(1),
+            "--jobs" => out.jobs = num(&mut it, "--jobs").max(1),
+            "--seed" => {
+                out.spec.seed =
+                    it.next().and_then(|v| v.parse().ok()).expect("--seed S");
+            }
+            "--workload" => workload = Some(it.next().expect("--workload NAME").clone()),
+            "--params" => {
+                params = Some(
+                    it.next()
+                        .expect("--params A,B,..")
+                        .split(',')
+                        .map(|v| v.trim().parse().expect("--params takes integers"))
+                        .collect(),
+                );
+            }
+            "--engine" => {
+                out.spec.engine =
+                    it.next().and_then(|v| v.parse().ok()).expect("--engine interp|compiled");
+            }
+            "--scheduler" => {
+                out.spec.scheduler = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scheduler trellis|per-injection");
+            }
+            "--opt" => match it.next().map(String::as_str) {
+                Some("O0") | Some("o0") => out.spec.opt = OptLevel::O0,
+                Some("O1") | Some("o1") => out.spec.opt = OptLevel::O1,
+                _ => panic!("--opt O0|O1"),
+            },
+            "--stats" => out.stats_only = true,
+            "--bench" => out.bench = true,
+            other => panic!("unknown option '{other}' ({usage})"),
+        }
+    }
+    if workload.is_some() || params.is_some() {
+        let careserve::WorkloadSel::Named { name, params: default_params } = out.spec.workload
+        else {
+            unreachable!("JobSpec::default is a named workload");
+        };
+        // `--workload X` without `--params` means X's builder defaults
+        // (empty params), not the default spec's hpccg sizing.
+        let params = params.unwrap_or(if workload.is_some() { vec![] } else { default_params });
+        out.spec.workload =
+            careserve::WorkloadSel::Named { name: workload.unwrap_or(name), params };
+    }
+    out
+}
+
+/// `repro serve`: run the campaign server until the process is killed.
+fn cmd_serve(args: &[String]) {
+    let a = parse_serve_args(args);
+    let handle = careserve::CampaignServer::start(careserve::ServerConfig {
+        addr: a.addr,
+        budget_cap: a.budget_cap,
+        max_queue: a.max_queue,
+        ..careserve::ServerConfig::default()
+    })
+    .expect("bind campaign server");
+    println!(
+        "[repro] careserve v{} listening on {} (budget cap {}, queue {})",
+        careserve::PROTO_VERSION,
+        handle.addr(),
+        if a.budget_cap == 0 { "pool width".to_string() } else { a.budget_cap.to_string() },
+        a.max_queue,
+    );
+    // Serve until killed; the accept loop owns all the work.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn print_stats(s: &careserve::StatsSnapshot) {
+    let mut t = Table::new("careserve stats", &["Counter", "Value"]);
+    for (name, v) in [
+        ("jobs accepted", s.jobs_accepted),
+        ("jobs rejected", s.jobs_rejected),
+        ("jobs completed", s.jobs_completed),
+        ("jobs failed", s.jobs_failed),
+        ("jobs cancelled", s.jobs_cancelled),
+        ("queue depth", s.queue_depth),
+        ("in-flight budget", s.inflight_budget),
+        ("budget cap", s.budget_cap),
+        ("campaign cache hits", s.cache_hits),
+        ("campaign cache misses", s.cache_misses),
+        ("records streamed", s.records_streamed),
+    ] {
+        t.row(vec![name.to_string(), v.to_string()]);
+    }
+    println!("{}", t.render());
+}
+
+/// `repro submit`: one job (or `--stats`, or the `--bench` batch) against a
+/// campaign server.
+fn cmd_submit(args: &[String]) {
+    let a = parse_serve_args(args);
+    if a.bench {
+        return submit_bench(a);
+    }
+    if a.stats_only {
+        let s = careserve::fetch_stats(&a.addr)
+            .unwrap_or_else(|e| panic!("stats from {}: {e}", a.addr));
+        print_stats(&s);
+        return;
+    }
+    let t0 = std::time::Instant::now();
+    let out = careserve::submit(&a.addr, &a.spec)
+        .unwrap_or_else(|e| panic!("submit to {}: {e}", a.addr));
+    let wall = t0.elapsed().as_secs_f64();
+    let r = &out.report;
+    let workload = match &a.spec.workload {
+        careserve::WorkloadSel::Named { name, params } => format!("{name} {params:?}"),
+        careserve::WorkloadSel::Inline { .. } => "inline".to_string(),
+    };
+    let mut t = Table::new(
+        &format!("job {} on {} ({workload})", out.job_id, a.addr),
+        &["Metric", "Value"],
+    );
+    t.row(vec!["classified".into(), r.total().to_string()]);
+    t.row(vec!["benign".into(), r.benign.to_string()]);
+    t.row(vec!["soft failures".into(), r.soft_failure.to_string()]);
+    t.row(vec!["sdc".into(), r.sdc.to_string()]);
+    t.row(vec!["hang".into(), r.hang.to_string()]);
+    t.row(vec!["CARE evaluated".into(), r.care_evaluated.to_string()]);
+    t.row(vec!["CARE covered".into(), r.care_covered.to_string()]);
+    t.row(vec!["coverage".into(), pct(r.coverage())]);
+    t.row(vec!["records streamed".into(), r.records.len().to_string()]);
+    t.row(vec!["telemetry lines".into(), out.telemetry.len().to_string()]);
+    t.row(vec!["progress frames".into(), out.progress_frames.to_string()]);
+    t.row(vec!["wall (s)".into(), format!("{wall:.3}")]);
+    println!("{}", t.render());
+}
+
+/// `repro submit --bench`: time a concurrent small-job batch and merge a
+/// `service` section into `BENCH_campaign.json` (schema v5).
+fn submit_bench(a: ServeArgs) {
+    // A loopback server unless the caller pointed at a live one; owning the
+    // handle also gives us its queue-depth/job-duration histograms.
+    let handle = if a.addr_given {
+        None
+    } else {
+        Some(
+            careserve::CampaignServer::start(careserve::ServerConfig {
+                budget_cap: a.budget_cap,
+                max_queue: a.max_queue.max(a.clients),
+                ..careserve::ServerConfig::default()
+            })
+            .expect("bind loopback campaign server"),
+        )
+    };
+    let addr = handle.as_ref().map_or(a.addr.clone(), |h| h.addr().to_string());
+    let before = careserve::fetch_stats(&addr)
+        .unwrap_or_else(|e| panic!("stats from {addr}: {e}"));
+    let workload_name = match &a.spec.workload {
+        careserve::WorkloadSel::Named { name, .. } => name.clone(),
+        careserve::WorkloadSel::Inline { .. } => "inline".to_string(),
+    };
+    eprintln!(
+        "[repro] service bench: {} clients x {} jobs of {workload_name} \
+         ({} injections/job) against {addr}...",
+        a.clients, a.jobs, a.spec.injections,
+    );
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..a.clients {
+            let (addr, spec, jobs) = (&addr, &a.spec, a.jobs);
+            scope.spawn(move || {
+                for _ in 0..jobs {
+                    careserve::submit(addr, spec).expect("bench job");
+                }
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let after = careserve::fetch_stats(&addr)
+        .unwrap_or_else(|e| panic!("stats from {addr}: {e}"));
+    let total_jobs = a.clients * a.jobs;
+    let jobs_per_sec = total_jobs as f64 / wall_s;
+    // Queue-depth and job-duration histograms come from the loopback
+    // handle's telemetry; against a remote server only the stats counters
+    // are visible, so those fields report zero samples.
+    let (qd, job_ms) = handle.as_ref().map_or(((0, 0.0, 0), (0.0, 0.0)), |h| {
+        let tel = h.telemetry();
+        let qd = tel
+            .hists
+            .get("server.queue_depth")
+            .map_or((0, 0.0, 0), |h| (h.count(), h.mean(), h.max()));
+        let jm = tel
+            .hists
+            .get("server.job_ns")
+            .map_or((0.0, 0.0), |h| (h.mean() / 1e6, h.max() as f64 / 1e6));
+        (qd, jm)
+    });
+    let service = format!(
+        "{{\n    \"workload\": \"{workload_name}\",\n    \
+         \"clients\": {},\n    \"jobs_per_client\": {},\n    \"jobs\": {total_jobs},\n    \
+         \"injections_per_job\": {},\n    \"wall_s\": {wall_s:.6},\n    \
+         \"jobs_per_sec\": {jobs_per_sec:.2},\n    \
+         \"jobs_completed\": {},\n    \"jobs_rejected\": {},\n    \
+         \"records_streamed\": {},\n    \
+         \"cache_hits\": {},\n    \"cache_misses\": {},\n    \
+         \"queue_depth\": {{\"samples\": {}, \"mean\": {:.3}, \"max\": {}}},\n    \
+         \"job_ms\": {{\"mean\": {:.3}, \"max\": {:.3}}}\n  }}",
+        a.clients,
+        a.jobs,
+        a.spec.injections,
+        after.jobs_completed - before.jobs_completed,
+        after.jobs_rejected - before.jobs_rejected,
+        after.records_streamed - before.records_streamed,
+        after.cache_hits - before.cache_hits,
+        after.cache_misses - before.cache_misses,
+        qd.0,
+        qd.1,
+        qd.2,
+        job_ms.0,
+        job_ms.1,
+    );
+    eprintln!(
+        "[repro]   {total_jobs} jobs in {wall_s:.2}s = {jobs_per_sec:.2} jobs/s \
+         (queue depth mean {:.2} max {}, cache {} hits / {} misses)",
+        qd.1,
+        qd.2,
+        after.cache_hits - before.cache_hits,
+        after.cache_misses - before.cache_misses,
+    );
+    merge_service_section("BENCH_campaign.json", &service);
+    eprintln!("[repro] merged service section into BENCH_campaign.json");
+}
+
+/// Splice `"service": <obj>` into the BENCH document as a top-level key,
+/// replacing any existing one and stamping the current schema version.
+/// Text-level because the hand-rolled JSON layer has no serializer; the
+/// result is re-parsed before it is written, so a bad splice can never
+/// produce a corrupt artefact.
+fn merge_service_section(path: &str, service: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|_| format!("{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION}\n}}\n"));
+    let text = strip_top_level_key(&text, "service");
+    // Stamp the (first, top-level) schema_version: merging into an artefact
+    // written by an older bench-json must not leave a stale version pinned.
+    let text = match text.find("\"schema_version\":") {
+        Some(at) => {
+            let val_start = at + "\"schema_version\":".len();
+            let val_len = text[val_start..]
+                .find([',', '\n', '}'])
+                .expect("schema_version value is terminated");
+            format!(
+                "{}\"schema_version\": {BENCH_SCHEMA_VERSION}{}",
+                &text[..at],
+                &text[val_start + val_len..]
+            )
+        }
+        None => text,
+    };
+    let brace = text.find('{').expect("BENCH document opens an object");
+    let merged = format!(
+        "{}{{\n  \"service\": {service},{}",
+        &text[..brace],
+        &text[brace + 1..]
+    );
+    telemetry::parse_json(&merged).expect("merged BENCH document parses");
+    std::fs::write(path, merged).expect("write BENCH_campaign.json");
+}
+
+/// Remove a top-level `"key": <value>,?` entry from a JSON object document,
+/// tracking string/escape state so braces inside strings cannot derail the
+/// match. Returns the document unchanged when the key is absent.
+fn strip_top_level_key(text: &str, key: &str) -> String {
+    let bytes = text.as_bytes();
+    let needle = format!("\"{key}\"");
+    let (mut depth, mut in_str, mut escaped) = (0i32, false, false);
+    let mut key_start = None;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            match c {
+                _ if escaped => escaped = false,
+                b'\\' => escaped = true,
+                b'"' => in_str = false,
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            b'"' => {
+                if depth == 1 && text[i..].starts_with(&needle) {
+                    key_start = Some(i);
+                    // Skip past the key string; the value scan below finds
+                    // its extent.
+                    i += needle.len();
+                    break;
+                }
+                in_str = true;
+            }
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    let Some(mut start) = key_start else { return text.to_string() };
+    // Take the key's leading indent with it, so the splice leaves the next
+    // line's own indentation intact.
+    while start > 0 && bytes[start - 1] == b' ' {
+        start -= 1;
+    }
+    // Scan the value: everything until depth returns to 1 and we pass the
+    // value's trailing comma (or its closing position when it is last).
+    let (mut depth, mut in_str, mut escaped) = (0i32, false, false);
+    let mut end = None;
+    let mut j = i;
+    while j < bytes.len() {
+        let c = bytes[j];
+        if in_str {
+            match c {
+                _ if escaped => escaped = false,
+                b'\\' => escaped = true,
+                b'"' => in_str = false,
+                _ => {}
+            }
+            j += 1;
+            continue;
+        }
+        match c {
+            b'"' => in_str = true,
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' if depth > 0 => depth -= 1,
+            b',' if depth == 0 => {
+                end = Some(j + 1);
+                break;
+            }
+            b'}' | b']' => {
+                // End of the enclosing object: the key was last; drop the
+                // comma that preceded it too.
+                let before = text[..start].trim_end().trim_end_matches(',');
+                return format!("{}{}", before, &text[j..]);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let end = end.expect("value extent found");
+    // Swallow one following newline so the splice leaves no blank line.
+    let end = end + text[end..].starts_with('\n') as usize;
+    format!("{}{}", &text[..start], &text[end..])
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return cmd_serve(&argv[1..]),
+        Some("submit") => return cmd_submit(&argv[1..]),
+        _ => {}
+    }
     let args = parse_args();
     if let Some(&t) = args.threads.first() {
         // Pin the pool width through the race-free programmatic override

@@ -29,7 +29,12 @@ use workloads::Workload;
 ///   the measurement host's core count, and a `scaling` section reports
 ///   injections/s, speedup and parallel efficiency per (workload, engine)
 ///   against the first swept thread count.
-pub const BENCH_SCHEMA_VERSION: u32 = 4;
+/// * v5 — optional top-level `service` section (`repro submit --bench`):
+///   jobs/s for a concurrent small-job batch against a `careserve` campaign
+///   server, plus the server's queue-depth telemetry and cache hit/miss
+///   counters. Readers must tolerate its absence (`repro bench-json` alone
+///   does not emit it).
+pub const BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// Rows of a formatted text table.
 pub struct Table {

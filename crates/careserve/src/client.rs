@@ -1,0 +1,185 @@
+//! Blocking client for the campaign server.
+//!
+//! [`submit`] drives one job end to end over one connection and
+//! reassembles the server's frame stream into the same shapes a local run
+//! produces: a [`CampaignReport`] with its records re-attached in stream
+//! order (which is record order — the server streams them in report
+//! order), plus the job's telemetry JSONL if requested. The result of a
+//! loopback submit is bit-identical to `Campaign::run` of the same spec.
+
+use crate::proto::{
+    self, JobSpec, RejectReason, StatsSnapshot, MAX_FRAME_BYTES, PROTO_VERSION,
+};
+use faultsim::CampaignReport;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use telemetry::Json;
+
+/// Everything one completed job sent back.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Server-assigned job id.
+    pub job_id: u64,
+    /// The campaign report, records re-attached (when the spec asked for
+    /// records; empty otherwise).
+    pub report: CampaignReport,
+    /// The job's telemetry JSONL lines (when the spec asked for them).
+    pub telemetry: Vec<String>,
+    /// `progress` frames observed while the job ran.
+    pub progress_frames: usize,
+}
+
+/// Why a submit did not produce a report.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect/read/write failure.
+    Io(std::io::Error),
+    /// The server refused the frame or the job.
+    Rejected {
+        /// Typed reason from the `reject` frame.
+        reason: RejectReason,
+        /// Free-text detail from the `reject` frame.
+        detail: String,
+    },
+    /// The job's worker panicked server-side.
+    Failed(String),
+    /// The server sent something this client cannot make sense of.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Rejected { reason, detail } => {
+                write!(f, "rejected ({}): {detail}", reason.name())
+            }
+            ClientError::Failed(d) => write!(f, "job failed server-side: {d}"),
+            ClientError::Protocol(d) => write!(f, "protocol error: {d}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Generous per-read timeout: a live server streams progress at least
+/// every few poll intervals, so silence this long means it is gone.
+const READ_TIMEOUT: Duration = Duration::from_secs(300);
+
+fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+fn read_frame(reader: &mut BufReader<TcpStream>) -> Result<Json, ClientError> {
+    let mut line = String::with_capacity(256);
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".to_string()));
+        }
+        if line.len() > MAX_FRAME_BYTES + 1 {
+            return Err(ClientError::Protocol("oversized frame from server".to_string()));
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        return proto::parse_frame(line.trim_end_matches(['\r', '\n']))
+            .map_err(|(_, detail)| ClientError::Protocol(detail));
+    }
+}
+
+fn frame_kind(v: &Json) -> &str {
+    v.get("kind").and_then(Json::as_str).unwrap_or("")
+}
+
+/// Submit one job and collect its full response stream.
+pub fn submit(addr: impl ToSocketAddrs, spec: &JobSpec) -> Result<JobOutcome, ClientError> {
+    let mut stream = connect(addr)?;
+    stream.write_all(spec.to_frame().as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+
+    let mut job_id = 0;
+    let mut records = Vec::new();
+    let mut telemetry = Vec::new();
+    let mut progress_frames = 0;
+    loop {
+        let v = read_frame(&mut reader)?;
+        match frame_kind(&v) {
+            "accepted" => {
+                job_id = proto::get_u64(&v, "job_id")
+                    .ok_or_else(|| ClientError::Protocol("accepted without job_id".to_string()))?;
+            }
+            "progress" => progress_frames += 1,
+            "record" => {
+                records.push(proto::decode_record(&v).map_err(ClientError::Protocol)?);
+            }
+            "telemetry" => {
+                if let Some(line) = v.get("line").and_then(Json::as_str) {
+                    telemetry.push(line.to_string());
+                }
+            }
+            "report" => {
+                let mut report = proto::decode_report(&v).map_err(ClientError::Protocol)?;
+                report.records = std::mem::take(&mut records);
+                // The terminating `done` frame.
+                let done = read_frame(&mut reader)?;
+                if frame_kind(&done) != "done" {
+                    return Err(ClientError::Protocol(format!(
+                        "expected done after report, got {:?}",
+                        frame_kind(&done)
+                    )));
+                }
+                return Ok(JobOutcome { job_id, report, telemetry, progress_frames });
+            }
+            "reject" => {
+                let reason = v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .and_then(RejectReason::parse)
+                    .ok_or_else(|| {
+                        ClientError::Protocol("reject without a known reason".to_string())
+                    })?;
+                let detail =
+                    v.get("detail").and_then(Json::as_str).unwrap_or_default().to_string();
+                return Err(ClientError::Rejected { reason, detail });
+            }
+            "failed" => {
+                let detail =
+                    v.get("detail").and_then(Json::as_str).unwrap_or_default().to_string();
+                return Err(ClientError::Failed(detail));
+            }
+            other => {
+                return Err(ClientError::Protocol(format!("unexpected frame kind {other:?}")))
+            }
+        }
+    }
+}
+
+/// Fetch the server's counter snapshot.
+pub fn fetch_stats(addr: impl ToSocketAddrs) -> Result<StatsSnapshot, ClientError> {
+    let mut stream = connect(addr)?;
+    stream.write_all(proto::stats_request_frame().as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let v = read_frame(&mut reader)?;
+    match frame_kind(&v) {
+        "stats" => StatsSnapshot::from_json(&v).map_err(ClientError::Protocol),
+        "reject" => Err(ClientError::Protocol("stats request rejected".to_string())),
+        other => Err(ClientError::Protocol(format!("expected stats frame, got {other:?}"))),
+    }
+}
+
+/// Best-effort protocol sanity check: the constant the client speaks.
+pub fn protocol_version() -> u32 {
+    PROTO_VERSION
+}

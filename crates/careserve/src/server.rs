@@ -1,0 +1,824 @@
+//! The long-running campaign server.
+//!
+//! One blocking accept loop, one thread per connection, one worker thread
+//! per running job — while every job's *simulation* fan-out runs on the
+//! single process-wide work-stealing pool (`compat/rayon`), sharing its
+//! workers, the global `simx::TranslationCache`, and this server's
+//! prepared-campaign cache across every client.
+//!
+//! ## Admission control
+//!
+//! Each job declares a thread *budget* (its `threads` field; 0 = the whole
+//! pool). The server admits jobs while the sum of running budgets stays
+//! within `budget_cap` (the pool width by default); beyond that, jobs wait
+//! in a bounded queue (`max_queue`), and past the queue they are rejected
+//! with [`RejectReason::QueueFull`] — explicit backpressure, never
+//! unbounded buffering. The budget is an admission weight, not a pool
+//! resize: `compat/rayon`'s `with_threads` serialises callers globally, so
+//! the honest way to share the pool between concurrent jobs is to cap how
+//! many are in flight, and let the pool's work-stealing interleave them.
+//!
+//! ## Failure containment
+//!
+//! Malformed frames get typed `reject` responses and the connection keeps
+//! serving. Oversized lines are drained to the next newline, rejected, and
+//! the connection keeps serving. A client that disconnects mid-job cancels
+//! the job cooperatively ([`faultsim::JobControl`]); the budget is
+//! reclaimed as soon as the campaign observes the flag. A worker panic is
+//! caught, reported as a `failed` frame, and the server keeps serving.
+
+use crate::proto::{
+    self, JobSpec, RejectReason, StatsSnapshot, MAX_FRAME_BYTES,
+};
+use faultsim::{Campaign, CampaignConfig, CampaignReport, JobControl};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use telemetry::{Hooks, NoTelemetry, Recorder, TelemetryReport};
+
+/// How the server is sized and bound.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free loopback port).
+    pub addr: String,
+    /// Global in-flight budget cap in pool threads; 0 = the work-stealing
+    /// pool's width ([`rayon::current_num_threads`]).
+    pub budget_cap: usize,
+    /// Bounded admission queue: jobs waiting for budget beyond this are
+    /// rejected with [`RejectReason::QueueFull`].
+    pub max_queue: usize,
+    /// Per-line frame cap; longer lines are rejected as oversized.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            budget_cap: 0,
+            max_queue: 8,
+            max_frame_bytes: MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// Socket poll interval: bounds shutdown/cancel/progress latency.
+const POLL: Duration = Duration::from_millis(10);
+
+#[derive(Default)]
+struct Counters {
+    jobs_accepted: AtomicU64,
+    jobs_rejected: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    queue_depth: AtomicU64,
+    inflight_budget: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    records_streamed: AtomicU64,
+}
+
+/// Admission state guarded by one mutex (the condvar's).
+#[derive(Default)]
+struct Admission {
+    /// Budget currently reserved by running jobs.
+    used: usize,
+    /// Jobs waiting for budget.
+    queued: usize,
+}
+
+/// Shared server state.
+pub(crate) struct Srv {
+    budget_cap: usize,
+    max_queue: usize,
+    max_frame_bytes: usize,
+    shutdown: AtomicBool,
+    admission: Mutex<Admission>,
+    cv: Condvar,
+    cache: Mutex<HashMap<String, Arc<Campaign>>>,
+    stats: Counters,
+    recorder: Recorder,
+    next_job_id: AtomicU64,
+    active_conns: AtomicUsize,
+}
+
+impl Srv {
+    pub(crate) fn new(cfg: &ServerConfig) -> Srv {
+        let budget_cap = if cfg.budget_cap == 0 {
+            rayon::current_num_threads().max(1)
+        } else {
+            cfg.budget_cap
+        };
+        Srv {
+            budget_cap,
+            max_queue: cfg.max_queue,
+            max_frame_bytes: cfg.max_frame_bytes,
+            shutdown: AtomicBool::new(false),
+            admission: Mutex::new(Admission::default()),
+            cv: Condvar::new(),
+            cache: Mutex::new(HashMap::new()),
+            stats: Counters::default(),
+            recorder: Recorder::new(),
+            next_job_id: AtomicU64::new(1),
+            active_conns: AtomicUsize::new(0),
+        }
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Reserve `want` threads of budget, waiting in the bounded queue if
+    /// the cap is reached. `Err` is the typed admission reject.
+    pub(crate) fn acquire_budget(&self, want: usize) -> Result<(), RejectReason> {
+        let mut adm = self.admission.lock().expect("admission lock");
+        if self.shutting_down() {
+            return Err(RejectReason::ShuttingDown);
+        }
+        if adm.used + want <= self.budget_cap {
+            adm.used += want;
+            self.stats.inflight_budget.store(adm.used as u64, Ordering::Relaxed);
+            return Ok(());
+        }
+        if adm.queued >= self.max_queue {
+            return Err(RejectReason::QueueFull);
+        }
+        adm.queued += 1;
+        self.stats.queue_depth.store(adm.queued as u64, Ordering::Relaxed);
+        self.recorder.record("server.queue_depth", adm.queued as u64);
+        loop {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(adm, Duration::from_millis(50))
+                .expect("admission wait");
+            adm = guard;
+            let fits = adm.used + want <= self.budget_cap;
+            if fits || self.shutting_down() {
+                adm.queued -= 1;
+                self.stats.queue_depth.store(adm.queued as u64, Ordering::Relaxed);
+                if !fits {
+                    return Err(RejectReason::ShuttingDown);
+                }
+                adm.used += want;
+                self.stats.inflight_budget.store(adm.used as u64, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+    }
+
+    pub(crate) fn release_budget(&self, want: usize) {
+        let mut adm = self.admission.lock().expect("admission lock");
+        adm.used -= want;
+        self.stats.inflight_budget.store(adm.used as u64, Ordering::Relaxed);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        let s = &self.stats;
+        StatsSnapshot {
+            jobs_accepted: s.jobs_accepted.load(Ordering::Relaxed),
+            jobs_rejected: s.jobs_rejected.load(Ordering::Relaxed),
+            jobs_completed: s.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: s.jobs_failed.load(Ordering::Relaxed),
+            jobs_cancelled: s.jobs_cancelled.load(Ordering::Relaxed),
+            queue_depth: s.queue_depth.load(Ordering::Relaxed),
+            inflight_budget: s.inflight_budget.load(Ordering::Relaxed),
+            budget_cap: self.budget_cap as u64,
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            cache_misses: s.cache_misses.load(Ordering::Relaxed),
+            records_streamed: s.records_streamed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reject(&self, out: &mut TcpStream, reason: RejectReason, detail: &str) {
+        self.stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        self.recorder.add("server.jobs_rejected", 1);
+        let _ = write_line(out, &proto::reject_frame(reason, detail));
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    srv: Arc<Srv>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The campaign server. [`start`](CampaignServer::start) binds, spawns the
+/// accept loop, and returns a handle; everything else happens on server
+/// threads.
+pub struct CampaignServer;
+
+impl CampaignServer {
+    /// Bind and serve. Returns once the listener is live; jobs are
+    /// serviced until the handle is shut down or dropped.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let srv = Arc::new(Srv::new(&cfg));
+        let srv2 = srv.clone();
+        let accept = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if srv2.shutting_down() {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                srv2.active_conns.fetch_add(1, Ordering::SeqCst);
+                let srv3 = srv2.clone();
+                std::thread::spawn(move || {
+                    handle_conn(srv3.clone(), stream);
+                    srv3.active_conns.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        Ok(ServerHandle { addr, srv, accept: Some(accept) })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolved port when bound to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counter snapshot (same numbers the `stats` frame serves).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.srv.snapshot()
+    }
+
+    /// Drain the server's `server.*` telemetry series (counters and the
+    /// queue-depth/job-duration histograms). Non-destructive.
+    pub fn telemetry(&self) -> TelemetryReport {
+        self.srv.recorder.drain()
+    }
+
+    /// Stop accepting, cancel in-flight jobs, and wait for connection
+    /// threads to drain.
+    pub fn shutdown(&mut self) {
+        let Some(accept) = self.accept.take() else { return };
+        self.srv.shutdown.store(true, Ordering::SeqCst);
+        self.srv.cv.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+        // Connection threads observe the flag within one poll interval and
+        // cancel their jobs; jobs observe the cancel at the next suffix.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while self.srv.active_conns.load(Ordering::SeqCst) > 0 {
+            if std::time::Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(POLL);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
+    stream.write_all(&buf)
+}
+
+/// What one read attempt on the framed socket produced.
+enum ReadOutcome {
+    /// A complete frame line (newline stripped).
+    Line(String),
+    /// A line over the frame cap was drained and discarded.
+    Oversized,
+    /// Nothing available right now.
+    Idle,
+    /// Peer closed the connection (or a hard read error).
+    Disconnected,
+}
+
+/// Newline-framed reader over a timeout-polled blocking socket.
+struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max: usize,
+    /// Discarding an over-cap line until its newline.
+    draining: bool,
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream, max: usize) -> FrameReader {
+        FrameReader { stream, buf: Vec::new(), max, draining: false }
+    }
+
+    /// One bounded poll: consume buffered bytes and at most one socket
+    /// read (≤ [`POLL`] of blocking).
+    fn poll_frame(&mut self) -> ReadOutcome {
+        loop {
+            if self.draining {
+                match self.buf.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        self.buf.drain(..=pos);
+                        self.draining = false;
+                        return ReadOutcome::Oversized;
+                    }
+                    None => self.buf.clear(),
+                }
+            } else if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                return ReadOutcome::Line(text);
+            } else if self.buf.len() > self.max {
+                self.draining = true;
+                continue;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Disconnected,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return ReadOutcome::Idle
+                }
+                Err(_) => return ReadOutcome::Disconnected,
+            }
+        }
+    }
+
+    /// Poll until a frame, disconnect, or server shutdown.
+    fn read_frame(&mut self, srv: &Srv) -> ReadOutcome {
+        loop {
+            match self.poll_frame() {
+                ReadOutcome::Idle => {
+                    if srv.shutting_down() {
+                        return ReadOutcome::Disconnected;
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+fn handle_conn(srv: Arc<Srv>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = FrameReader::new(read_half, srv.max_frame_bytes);
+    let mut out = stream;
+    loop {
+        match reader.read_frame(&srv) {
+            ReadOutcome::Disconnected => return,
+            ReadOutcome::Oversized => {
+                srv.reject(&mut out, RejectReason::Oversized, "frame exceeds the line cap");
+            }
+            ReadOutcome::Idle => unreachable!("read_frame never yields Idle"),
+            ReadOutcome::Line(line) => {
+                if dispatch(&srv, &mut reader, &mut out, &line).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Handle one frame. `Err(())` means the connection is gone.
+fn dispatch(
+    srv: &Arc<Srv>,
+    reader: &mut FrameReader,
+    out: &mut TcpStream,
+    line: &str,
+) -> Result<(), ()> {
+    let v = match proto::parse_frame(line) {
+        Ok(v) => v,
+        Err((reason, detail)) => {
+            srv.reject(out, reason, &detail);
+            return Ok(());
+        }
+    };
+    match v.get("kind").and_then(telemetry::Json::as_str) {
+        Some("stats") => write_line(out, &srv.snapshot().to_frame()).map_err(|_| ()),
+        Some("job") => {
+            let spec = match JobSpec::from_json(&v) {
+                Ok(spec) => spec,
+                Err((reason, detail)) => {
+                    srv.reject(out, reason, &detail);
+                    return Ok(());
+                }
+            };
+            run_job(srv, reader, out, spec)
+        }
+        Some(other) => {
+            srv.reject(out, RejectReason::BadFrame, &format!("unknown frame kind {other:?}"));
+            Ok(())
+        }
+        None => unreachable!("parse_frame guarantees a kind"),
+    }
+}
+
+/// What the worker thread hands back.
+type JobResult = Result<(CampaignReport, Option<String>), String>;
+
+fn run_job(
+    srv: &Arc<Srv>,
+    reader: &mut FrameReader,
+    out: &mut TcpStream,
+    spec: JobSpec,
+) -> Result<(), ()> {
+    // Validation and cache probe first: a reject must not burn budget.
+    let key = spec.campaign_key();
+    let cached = srv.cache.lock().expect("cache lock").get(&key).cloned();
+    let workload = match cached {
+        Some(_) => {
+            srv.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            srv.recorder.add("server.cache_hits", 1);
+            None
+        }
+        None => match proto::resolve_workload(&spec.workload) {
+            Ok(w) => Some(w),
+            Err(detail) => {
+                srv.reject(out, RejectReason::BadSpec, &detail);
+                return Ok(());
+            }
+        },
+    };
+    let budget = if spec.threads == 0 { srv.budget_cap } else { spec.threads.min(srv.budget_cap) };
+    if let Err(reason) = srv.acquire_budget(budget) {
+        srv.reject(out, reason, "admission refused");
+        return Ok(());
+    }
+    // Budget held from here: release on every path below.
+    let job_id = srv.next_job_id.fetch_add(1, Ordering::Relaxed);
+    srv.stats.jobs_accepted.fetch_add(1, Ordering::Relaxed);
+    srv.recorder.add("server.jobs_accepted", 1);
+    let t0 = std::time::Instant::now();
+    let mut connected = write_line(out, &proto::accepted_frame(job_id)).is_ok();
+
+    let ctl = Arc::new(JobControl::new());
+    let (tx, rx) = mpsc::channel::<JobResult>();
+    let worker = {
+        let ctl = ctl.clone();
+        let spec = spec.clone();
+        let srv = srv.clone();
+        std::thread::spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let campaign = match cached {
+                    Some(c) => c,
+                    None => srv.prepare_campaign(&key, &spec, workload.expect("resolved on miss")),
+                };
+                let cfg = CampaignConfig {
+                    injections: spec.injections,
+                    model: spec.model,
+                    seed: spec.seed,
+                    evaluate_care: spec.evaluate_care,
+                    app_only: spec.app_only,
+                    keep_records: spec.records,
+                    scheduler: spec.scheduler,
+                    engine: spec.engine,
+                    ..CampaignConfig::default()
+                };
+                if spec.telemetry {
+                    let rec = Recorder::new();
+                    let report = campaign.run_job(&cfg, &rec, &ctl);
+                    (report, Some(rec.drain().to_jsonl()))
+                } else {
+                    (campaign.run_job(&cfg, &NoTelemetry, &ctl), None)
+                }
+            }));
+            let _ = tx.send(result.map_err(panic_message));
+        })
+    };
+
+    // Stream progress and watch the socket while the job runs.
+    let total = spec.injections as u64;
+    let mut last_progress = u64::MAX;
+    let outcome: JobResult = loop {
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(result) => break result,
+            Err(RecvTimeoutError::Disconnected) => {
+                break Err("worker vanished without a result".to_string())
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+        if srv.shutting_down() {
+            ctl.cancel();
+        }
+        if connected {
+            let classified = ctl.classified();
+            if classified != last_progress {
+                last_progress = classified;
+                connected =
+                    write_line(out, &proto::progress_frame(job_id, classified, total)).is_ok();
+            }
+        }
+        match reader.poll_frame() {
+            ReadOutcome::Idle => {}
+            ReadOutcome::Disconnected => {
+                if connected {
+                    connected = false;
+                    ctl.cancel();
+                    srv.recorder.add("server.client_disconnects", 1);
+                }
+            }
+            ReadOutcome::Oversized => {
+                srv.reject(out, RejectReason::Oversized, "frame exceeds the line cap");
+            }
+            ReadOutcome::Line(extra) => {
+                // One job per connection: any further job is refused, but
+                // stats stay queryable mid-job.
+                match proto::parse_frame(&extra) {
+                    Ok(v) if v.get("kind").and_then(telemetry::Json::as_str) == Some("stats") => {
+                        let _ = write_line(out, &srv.snapshot().to_frame());
+                    }
+                    Ok(_) => srv.reject(
+                        out,
+                        RejectReason::ClientBusy,
+                        "a job is already in flight on this connection",
+                    ),
+                    Err((reason, detail)) => srv.reject(out, reason, &detail),
+                }
+            }
+        }
+        if !connected {
+            ctl.cancel();
+        }
+    };
+    let _ = worker.join();
+    srv.release_budget(budget);
+    srv.recorder.record("server.job_ns", t0.elapsed().as_nanos() as u64);
+
+    match outcome {
+        Ok((report, jsonl)) => {
+            if report.cancelled {
+                srv.stats.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                srv.recorder.add("server.jobs_cancelled", 1);
+            } else {
+                srv.stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                srv.recorder.add("server.jobs_completed", 1);
+            }
+            if connected && spec.records {
+                for r in &report.records {
+                    if write_line(out, &proto::encode_record(job_id, r)).is_err() {
+                        connected = false;
+                        break;
+                    }
+                    srv.stats.records_streamed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if connected {
+                if let Some(jsonl) = jsonl {
+                    for tl in jsonl.lines().filter(|l| !l.trim().is_empty()) {
+                        if write_line(out, &proto::telemetry_frame(job_id, tl)).is_err() {
+                            connected = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if connected {
+                connected = write_line(out, &proto::encode_report(job_id, &report)).is_ok();
+            }
+            if connected {
+                connected = write_line(out, &proto::done_frame(job_id)).is_ok();
+            }
+        }
+        Err(detail) => {
+            srv.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            srv.recorder.add("server.jobs_failed", 1);
+            if connected {
+                connected = write_line(out, &proto::failed_frame(job_id, &detail)).is_ok();
+            }
+        }
+    }
+    if connected {
+        Ok(())
+    } else {
+        Err(())
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panicked: {s}")
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+impl Srv {
+    /// Compile + prepare on a cache miss, then publish. Concurrent misses
+    /// on the same key both prepare (identical, deterministic campaigns)
+    /// and the first insert wins; the work the loser burned is bounded by
+    /// one prepare. The prepare runs outside the cache lock so a slow
+    /// golden run never blocks other clients' cache probes.
+    fn prepare_campaign(
+        &self,
+        key: &str,
+        spec: &JobSpec,
+        workload: workloads::Workload,
+    ) -> Arc<Campaign> {
+        self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.recorder.add("server.cache_misses", 1);
+        let app = care::compile(&workload.module, spec.opt);
+        let campaign = Arc::new(Campaign::prepare(&workload, app, vec![]));
+        let mut map = self.cache.lock().expect("cache lock");
+        map.entry(key.to_string()).or_insert_with(|| campaign.clone()).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::proto::WorkloadSel;
+    use std::io::{BufRead, BufReader};
+
+    fn test_server(budget_cap: usize, max_queue: usize, max_frame: usize) -> ServerHandle {
+        CampaignServer::start(ServerConfig {
+            budget_cap,
+            max_queue,
+            max_frame_bytes: max_frame,
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback")
+    }
+
+    /// Send raw lines on one connection, reading one response frame per
+    /// line sent; returns the `(kind, reason)` of each response.
+    fn raw_exchange(addr: std::net::SocketAddr, lines: &[&str]) -> Vec<(String, String)> {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut out = Vec::new();
+        for line in lines {
+            stream.write_all(line.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            let v = telemetry::parse_json(resp.trim()).expect("server speaks JSON");
+            let kind = v.get("kind").and_then(telemetry::Json::as_str).unwrap_or("").to_string();
+            let reason =
+                v.get("reason").and_then(telemetry::Json::as_str).unwrap_or("").to_string();
+            out.push((kind, reason));
+        }
+        out
+    }
+
+    #[test]
+    fn admission_respects_cap_queue_and_shutdown() {
+        let handle = test_server(2, 1, MAX_FRAME_BYTES);
+        let srv = handle.srv.clone();
+        // Fill the cap.
+        assert!(srv.acquire_budget(2).is_ok());
+        assert_eq!(srv.snapshot().inflight_budget, 2);
+        // One waiter fits in the queue...
+        let srv2 = srv.clone();
+        let waiter = std::thread::spawn(move || srv2.acquire_budget(1));
+        while srv.snapshot().queue_depth == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // ...and the queue is now full.
+        assert_eq!(srv.acquire_budget(1), Err(RejectReason::QueueFull));
+        // Releasing admits the waiter.
+        srv.release_budget(2);
+        assert_eq!(waiter.join().unwrap(), Ok(()));
+        assert_eq!(srv.snapshot().inflight_budget, 1);
+        assert_eq!(srv.snapshot().queue_depth, 0);
+        srv.release_budget(1);
+        // Shutdown unblocks queued waiters with a typed reject.
+        assert!(srv.acquire_budget(2).is_ok());
+        let srv3 = srv.clone();
+        let waiter = std::thread::spawn(move || srv3.acquire_budget(2));
+        while srv.snapshot().queue_depth == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        srv.shutdown.store(true, Ordering::SeqCst);
+        srv.cv.notify_all();
+        assert_eq!(waiter.join().unwrap(), Err(RejectReason::ShuttingDown));
+        assert_eq!(srv.acquire_budget(1), Err(RejectReason::ShuttingDown));
+    }
+
+    #[test]
+    fn every_malformed_frame_gets_a_typed_reject_and_the_connection_survives() {
+        let mut handle = test_server(0, 4, 4096);
+        let addr = handle.addr();
+        let huge = format!("{{\"kind\":\"job\",\"pad\":\"{}\"}}", "x".repeat(8192));
+        let exchanges = raw_exchange(
+            addr,
+            &[
+                "this is not json",
+                "{\"no\":\"kind\"}",
+                "{\"kind\":\"mystery\"}",
+                "{\"kind\":\"job\",\"proto\":99,\"workload\":\"hpccg\",\"injections\":5}",
+                "{\"kind\":\"job\",\"proto\":1,\"workload\":\"hpccg\",\"injections\":5,\"params\":\"3\"}",
+                "{\"kind\":\"job\",\"proto\":1,\"workload\":\"nope\",\"injections\":5}",
+                "{\"kind\":\"job\",\"proto\":1,\"workload\":\"hpccg\",\"injections\":0}",
+                &huge,
+                // The connection still serves after all of the above.
+                "{\"kind\":\"stats\",\"proto\":1}",
+            ],
+        );
+        let want = [
+            ("reject", "bad_json"),
+            ("reject", "bad_frame"),
+            ("reject", "bad_frame"),
+            ("reject", "unsupported_proto"),
+            ("reject", "bad_frame"),
+            ("reject", "bad_spec"),
+            ("reject", "bad_spec"),
+            ("reject", "oversized"),
+            ("stats", ""),
+        ];
+        for ((kind, reason), (wk, wr)) in exchanges.iter().zip(want) {
+            assert_eq!((kind.as_str(), reason.as_str()), (wk, wr));
+        }
+        assert_eq!(handle.stats().jobs_rejected, 8);
+        assert_eq!(handle.stats().jobs_accepted, 0);
+        handle.shutdown();
+    }
+
+    /// A tiny inline workload keeps the happy-path unit test fast and
+    /// exercises the inline-module spec end to end.
+    fn tiny_inline_spec() -> JobSpec {
+        let mut mb = tinyir::builder::ModuleBuilder::new("tiny", "tiny.c");
+        let out = mb.global_zeroed("out", tinyir::Ty::I64, 8);
+        mb.define("main", vec![tinyir::Ty::I64], Some(tinyir::Ty::I64), |fb| {
+            let acc = fb.alloca(tinyir::Ty::I64, 1);
+            fb.store(tinyir::Value::i64(1), acc);
+            let n = fb.arg(0);
+            let outp = fb.global(out);
+            fb.for_loop(tinyir::Value::i64(0), n, |fb, i| {
+                let a = fb.load(acc, tinyir::Ty::I64);
+                let s = fb.add(a, i, tinyir::Ty::I64);
+                fb.store(s, acc);
+                let slot = fb.srem(i, tinyir::Value::i64(8), tinyir::Ty::I64);
+                fb.store_elem(s, outp, slot, tinyir::Ty::I64);
+            });
+            let r = fb.load(acc, tinyir::Ty::I64);
+            fb.ret(Some(r));
+        });
+        let module = mb.finish();
+        JobSpec {
+            workload: WorkloadSel::Inline {
+                text: tinyir::display::print_module(&module),
+                args: vec![6],
+                outputs: vec![("out".to_string(), 64)],
+            },
+            injections: 30,
+            telemetry: true,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn loopback_inline_job_matches_local_run_and_reuses_the_cache() {
+        let mut handle = test_server(0, 4, MAX_FRAME_BYTES);
+        let spec = tiny_inline_spec();
+
+        // Local baseline from the same spec.
+        let workload = proto::resolve_workload(&spec.workload).unwrap();
+        let app = care::compile(&workload.module, spec.opt);
+        let campaign = Campaign::prepare(&workload, app, vec![]);
+        let local = campaign.run(&CampaignConfig {
+            injections: spec.injections,
+            seed: spec.seed,
+            model: spec.model,
+            evaluate_care: spec.evaluate_care,
+            app_only: spec.app_only,
+            keep_records: true,
+            scheduler: spec.scheduler,
+            engine: spec.engine,
+            ..CampaignConfig::default()
+        });
+
+        let first = client::submit(handle.addr(), &spec).expect("first submit");
+        assert_eq!(first.report, local, "wire report diverged from the local run");
+        assert!(!first.telemetry.is_empty(), "telemetry frames were requested");
+
+        let second = client::submit(handle.addr(), &spec).expect("second submit");
+        assert_eq!(second.report, local);
+        let stats = handle.stats();
+        assert_eq!(stats.jobs_completed, 2);
+        assert_eq!(stats.cache_misses, 1, "second job must hit the campaign cache");
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.inflight_budget, 0, "budget leaked after completion");
+        assert_eq!(stats.records_streamed, 2 * local.records.len() as u64);
+
+        // The server.* series recorded the lifecycle.
+        let report = handle.telemetry();
+        assert_eq!(report.counters.get("server.jobs_accepted"), Some(&2));
+        assert_eq!(report.counters.get("server.jobs_completed"), Some(&2));
+        handle.shutdown();
+    }
+}

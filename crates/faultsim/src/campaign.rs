@@ -36,6 +36,7 @@ use simx::{
 };
 use tinyir::FuncId;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use telemetry::{timed, Event, Hooks, NoTelemetry};
 use workloads::Workload;
@@ -146,6 +147,71 @@ pub enum Scheduler {
     /// Every injection re-simulates its own prefix (the pre-trellis
     /// engine; bit-identical records, ~2x the simulated instructions).
     PerInjection,
+}
+
+impl Scheduler {
+    /// Stable CLI/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheduler::Trellis => "trellis",
+            Scheduler::PerInjection => "per-injection",
+        }
+    }
+}
+
+impl std::str::FromStr for Scheduler {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Scheduler, String> {
+        match s {
+            "trellis" => Ok(Scheduler::Trellis),
+            "per-injection" => Ok(Scheduler::PerInjection),
+            other => Err(format!("unknown scheduler {other:?} (trellis|per-injection)")),
+        }
+    }
+}
+
+/// Cooperative cancellation plus coarse progress for service-shaped runs.
+///
+/// A campaign driven through [`Campaign::run_job`] polls the flag between
+/// trellis cursor firings and before every suffix/CARE job (one relaxed
+/// atomic load — far below the cost of either), so a cancelled job stops
+/// burning pool time within one injection's worth of work. The `classified`
+/// counter ticks once per produced record, giving observers (a campaign
+/// server streaming progress, a Ctrl-C handler in a local run) a live
+/// done-so-far view without touching the record pipeline.
+///
+/// A `JobControl` that is never cancelled is an observational no-op: the
+/// records are bit-identical to [`Campaign::run`].
+#[derive(Debug, Default)]
+pub struct JobControl {
+    cancelled: AtomicBool,
+    classified: AtomicU64,
+}
+
+impl JobControl {
+    /// A fresh, uncancelled control block.
+    pub fn new() -> JobControl {
+        JobControl::default()
+    }
+
+    /// Request cancellation; the campaign stops at its next check.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`cancel`](Self::cancel) been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Records produced so far (monotone during a run).
+    pub fn classified(&self) -> u64 {
+        self.classified.load(Ordering::Relaxed)
+    }
+
+    fn note_classified(&self) {
+        self.classified.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Campaign parameters.
@@ -579,10 +645,20 @@ impl Campaign {
         cfg: &CampaignConfig,
         engine: &dyn ExecutionEngine,
         hooks: &H,
+        ctl: &JobControl,
     ) -> CampaignReport {
         let records: Vec<InjectionRecord> = (0..cfg.injections)
             .into_par_iter()
-            .filter_map(|i| self.run_one_with_hooks(cfg, i, engine, hooks))
+            .filter_map(|i| {
+                if ctl.is_cancelled() {
+                    return None;
+                }
+                let rec = self.run_one_with_hooks(cfg, i, engine, hooks);
+                if rec.is_some() {
+                    ctl.note_classified();
+                }
+                rec
+            })
             .collect();
         CampaignReport::from_records(records)
     }
@@ -595,6 +671,7 @@ impl Campaign {
         cfg: &CampaignConfig,
         engine: &dyn ExecutionEngine,
         hooks: &H,
+        ctl: &JobControl,
     ) -> CampaignReport {
         // Phase 1 — sampling. Same per-index RNG stream as `run_one`, so
         // every downstream bit-flip draw is identical.
@@ -630,7 +707,7 @@ impl Campaign {
                 .filter(|(_, s)| !s.points.is_empty())
                 .collect();
             work.into_par_iter()
-                .map(|(k, shard)| self.run_cursor_shard(cfg, k, shard, engine, hooks))
+                .map(|(k, shard)| self.run_cursor_shard(cfg, k, shard, engine, hooks, ctl))
                 .collect()
         });
         let mut snapshots: Vec<Process> = Vec::new();
@@ -675,7 +752,16 @@ impl Campaign {
             .collect();
         let records: Vec<InjectionRecord> = timed(hooks, "trellis.suffixes_ns", || {
             jobs.into_par_iter()
-                .filter_map(|(point, rng, p)| self.run_suffix(cfg, point, &rng, p?, engine, hooks))
+                .filter_map(|(point, rng, p)| {
+                    if ctl.is_cancelled() {
+                        return None;
+                    }
+                    let rec = self.run_suffix(cfg, point, &rng, p?, engine, hooks);
+                    if rec.is_some() {
+                        ctl.note_classified();
+                    }
+                    rec
+                })
                 .collect()
         });
 
@@ -762,6 +848,7 @@ impl Campaign {
         shard: CursorShard,
         engine: &dyn ExecutionEngine,
         hooks: &H,
+        ctl: &JobControl,
     ) -> ShardResult {
         let t0 = H::ENABLED.then(std::time::Instant::now);
         let mut cursor = self.template.clone();
@@ -784,6 +871,9 @@ impl Campaign {
         cursor.multi_break = Some(breaks);
         let mut snapshots: Vec<(InjectionPoint, Process)> = Vec::new();
         while !cursor.multi_break.as_ref().expect("shard cursor").is_empty() {
+            if ctl.is_cancelled() {
+                break;
+            }
             match cursor.run() {
                 RunExit::BreakHit => {
                     let (module, func, inst, rel) = cursor
@@ -841,6 +931,23 @@ impl Campaign {
     /// campaign's TLB hit counters, instruction-mix counters derived from
     /// the golden profile, and the campaign-level step-split counters.
     pub fn run_with_hooks<H: Hooks>(&self, cfg: &CampaignConfig, hooks: &H) -> CampaignReport {
+        self.run_job(cfg, hooks, &JobControl::new())
+    }
+
+    /// [`run_with_hooks`](Self::run_with_hooks) with an external cancellation
+    /// token — the job-shaped entry point used by the campaign server. The
+    /// control block is polled between cursor-shard firings and before each
+    /// suffix job (trellis) or each injection (per-injection); once
+    /// [`JobControl::cancel`] is observed, no further suffix work starts and
+    /// the report comes back partial with [`CampaignReport::cancelled`] set.
+    /// With a never-cancelled control the result is bit-identical to
+    /// [`run_with_hooks`].
+    pub fn run_job<H: Hooks>(
+        &self,
+        cfg: &CampaignConfig,
+        hooks: &H,
+        ctl: &JobControl,
+    ) -> CampaignReport {
         let compiled = if cfg.engine == EngineKind::Compiled {
             let cache = simx::TranslationCache::global();
             let (h0, m0) = (cache.hits(), cache.misses());
@@ -864,9 +971,10 @@ impl Campaign {
         let engine = engine_ref(&compiled);
         let pool0 = H::ENABLED.then(rayon::pool_stats);
         let mut report = match cfg.scheduler {
-            Scheduler::Trellis => self.run_trellis(cfg, engine, hooks),
-            Scheduler::PerInjection => self.run_per_injection(cfg, engine, hooks),
+            Scheduler::Trellis => self.run_trellis(cfg, engine, hooks, ctl),
+            Scheduler::PerInjection => self.run_per_injection(cfg, engine, hooks, ctl),
         };
+        report.cancelled = ctl.is_cancelled();
         if let Some(p0) = pool0 {
             // Work-stealing pool activity attributable to this campaign
             // (the pool is process-wide, so these are deltas).
@@ -958,8 +1066,9 @@ fn signal_of(kind: TrapKind) -> Signal {
 }
 
 /// Aggregated campaign results — the raw material for Tables 2, 3, 4, 10,
-/// 11 and Figures 7, 9, 12.
-#[derive(Clone, Debug, Default)]
+/// 11 and Figures 7, 9, 12. `PartialEq` so the campaign server's wire
+/// round-trip can be asserted bit-identical in one comparison.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CampaignReport {
     /// Table 2 row.
     pub benign: usize,
@@ -1009,6 +1118,10 @@ pub struct CampaignReport {
     /// Cursor shards that actually ran (had points) in the trellis cursor
     /// pass; 0 under the per-injection scheduler.
     pub cursor_shards: usize,
+    /// True when the run's [`JobControl`] was cancelled before completion:
+    /// the aggregates and records cover only the injections classified
+    /// before the cancel was observed.
+    pub cancelled: bool,
     /// Raw records; populated only when [`CampaignConfig::keep_records`]
     /// is set.
     pub records: Vec<InjectionRecord>,
@@ -1287,5 +1400,58 @@ mod scheduler_tests {
                 assert_eq!(rec.split.prefix + rec.split.suffix, budget);
             }
         }
+    }
+
+    /// A never-cancelled `JobControl` is an observational no-op: `run_job`
+    /// reproduces `run` bit for bit under both schedulers, reports the
+    /// classified count through the control block, and leaves the report's
+    /// `cancelled` flag clear.
+    #[test]
+    fn uncancelled_job_control_is_a_no_op() {
+        let campaign = tiny_campaign();
+        for scheduler in [Scheduler::Trellis, Scheduler::PerInjection] {
+            let config = cfg(40, scheduler);
+            let plain = campaign.run(&config);
+            let ctl = JobControl::new();
+            let job = campaign.run_job(&config, &NoTelemetry, &ctl);
+            assert_eq!(plain.records, job.records, "{scheduler:?} diverged under run_job");
+            assert!(!job.cancelled);
+            assert_eq!(ctl.classified(), job.total() as u64);
+        }
+    }
+
+    /// A control cancelled before the run starts yields an empty, flagged
+    /// report — no suffix work runs — and the campaign object stays usable
+    /// for a fresh, complete run afterwards.
+    #[test]
+    fn pre_cancelled_job_yields_empty_flagged_report() {
+        let campaign = tiny_campaign();
+        for scheduler in [Scheduler::Trellis, Scheduler::PerInjection] {
+            let config = cfg(40, scheduler);
+            let ctl = JobControl::new();
+            ctl.cancel();
+            let report = campaign.run_job(&config, &NoTelemetry, &ctl);
+            assert!(report.cancelled, "{scheduler:?} report not flagged cancelled");
+            assert!(report.records.is_empty(), "{scheduler:?} ran suffixes after cancel");
+            assert_eq!(report.total(), 0);
+            assert_eq!(ctl.classified(), 0);
+        }
+        // The cancel is scoped to the control block, not the campaign.
+        let fresh = campaign.run(&cfg(40, Scheduler::Trellis));
+        assert!(!fresh.cancelled);
+        assert_eq!(fresh.total(), fresh.records.len());
+    }
+
+    /// Scheduler and fault-model wire names round-trip through `FromStr`.
+    #[test]
+    fn scheduler_and_fault_model_names_round_trip() {
+        for s in [Scheduler::Trellis, Scheduler::PerInjection] {
+            assert_eq!(s.name().parse::<Scheduler>().unwrap(), s);
+        }
+        assert!("nope".parse::<Scheduler>().is_err());
+        for m in [crate::FaultModel::SingleBit, crate::FaultModel::DoubleBit] {
+            assert_eq!(m.name().parse::<crate::FaultModel>().unwrap(), m);
+        }
+        assert!("triple".parse::<crate::FaultModel>().is_err());
     }
 }

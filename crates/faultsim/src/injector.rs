@@ -27,6 +27,27 @@ pub enum FaultModel {
     DoubleBit,
 }
 
+impl FaultModel {
+    /// Stable wire/CLI name; inverse of [`FromStr`](std::str::FromStr).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultModel::SingleBit => "single",
+            FaultModel::DoubleBit => "double",
+        }
+    }
+}
+
+impl std::str::FromStr for FaultModel {
+    type Err = String;
+    fn from_str(s: &str) -> Result<FaultModel, String> {
+        match s {
+            "single" => Ok(FaultModel::SingleBit),
+            "double" => Ok(FaultModel::DoubleBit),
+            other => Err(format!("unknown fault model {other:?} (single|double)")),
+        }
+    }
+}
+
 /// A chosen injection point: the `(I, n)` pair of §5.1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct InjectionPoint {

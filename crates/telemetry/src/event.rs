@@ -92,8 +92,10 @@ impl Event {
     }
 }
 
-/// Escape and append a JSON string literal.
-pub(crate) fn push_json_str(out: &mut String, s: &str) {
+/// Escape and append a JSON string literal. Public so wire-protocol
+/// builders (the campaign server's NDJSON frames) share one escaper with
+/// the JSONL sink instead of growing a second, subtly different one.
+pub fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -112,8 +114,9 @@ pub(crate) fn push_json_str(out: &mut String, s: &str) {
 }
 
 /// Append a finite f64 as JSON (NaN/inf degrade to null, which JSON lacks
-/// a number for).
-pub(crate) fn push_json_f64(out: &mut String, v: f64) {
+/// a number for). The `{v}` shortest-round-trip rendering parses back to
+/// the identical bits, which the server's record framing relies on.
+pub fn push_json_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let s = format!("{v}");
         // `{}` on an integral float prints no decimal point; keep it a

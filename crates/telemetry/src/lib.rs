@@ -54,7 +54,7 @@ pub mod recorder;
 pub mod report;
 pub mod schema;
 
-pub use event::{Event, Value};
+pub use event::{push_json_f64, push_json_str, Event, Value};
 pub use hist::Histogram;
 pub use recorder::{timed, Hooks, NoTelemetry, Recorder};
 pub use report::TelemetryReport;

@@ -202,8 +202,10 @@ fn compiled_engine_records_match_interpreter_on_all_workloads() {
 /// version (bumped in `bench::BENCH_SCHEMA_VERSION` whenever the shape
 /// changes), the telemetry sections the v2 schema introduced and the v4
 /// thread sweep (per-row `threads`, pool counters and the `scaling`
-/// section). Regenerate with `cargo run --release -p bench --bin repro --
-/// bench-json --threads 1,4,16` after an intentional schema change.
+/// section), plus the v5 `service` section. Regenerate with `cargo run
+/// --release -p bench --bin repro -- bench-json --threads 1,4,16` followed
+/// by `cargo run --release -p bench --bin repro -- submit --bench` after an
+/// intentional schema change.
 #[test]
 fn committed_bench_json_matches_schema_version() {
     let text = std::fs::read_to_string(concat!(
@@ -310,6 +312,23 @@ fn committed_bench_json_matches_schema_version() {
             );
         }
         other => panic!("workloads should be an array, got {other:?}"),
+    }
+    // v5: a `service` section — jobs/s for a concurrent small-job batch
+    // against the careserve campaign server, plus its queue-depth telemetry
+    // and campaign-cache counters. Schema-optional, but the committed
+    // artefact carries it; regenerate with `repro submit --bench` after
+    // `repro bench-json`.
+    let service = doc.get("service").expect("v5 committed artefact carries a service section");
+    for key in ["clients", "jobs", "jobs_per_sec", "jobs_completed", "cache_hits", "cache_misses"] {
+        let v = service.get(key).and_then(|v| v.as_f64());
+        assert!(v.is_some_and(|v| v >= 0.0), "service {key:?} invalid: {v:?}");
+    }
+    assert!(
+        service.get("jobs_per_sec").and_then(|v| v.as_f64()).expect("jobs_per_sec") > 0.0,
+        "service batch measured no throughput"
+    );
+    for key in ["queue_depth", "job_ms"] {
+        assert!(service.get(key).is_some(), "service section missing {key:?}");
     }
 }
 
