@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--injections N] [--seed S] [--threads N[,N,...]]
-//!       [--telemetry OUT.jsonl] [experiments...]
+//!       [--telemetry OUT.jsonl] [--store DIR | --resume] [experiments...]
 //!
 //! experiments: table2 table3 table4 table5 table8 table9 table10 table11
 //!              fig7 fig9 fig10 fig12 declines all   (default: all)
@@ -10,10 +10,12 @@
 //!                            with campaign-throughput measurements)
 //!
 //! repro serve  [--addr HOST:PORT] [--budget-cap N] [--max-queue N]
+//!              [--store DIR]
 //! repro submit [--addr HOST:PORT] [--workload NAME] [--params A,B,..]
 //!              [--injections N] [--seed S] [--engine E] [--scheduler S]
 //!              [--opt O0|O1] [--job-threads N] [--stats]
 //!              [--bench [--clients C] [--jobs J]]
+//! repro triage [--store DIR]
 //! ```
 //!
 //! `serve` runs the `careserve` campaign server until killed. `submit`
@@ -22,6 +24,15 @@
 //! concurrent small-job batch (spawning a loopback server when `--addr` is
 //! not given) and merges a `service` section into `BENCH_campaign.json`
 //! (schema v5).
+//!
+//! `--store DIR` routes every §2/§5 campaign through a content-addressed
+//! `carestore` store at DIR: records from earlier runs are reused and only
+//! the residual injections execute, with reports bit-identical to a fresh
+//! run. `--resume` is shorthand for `--store ./care_store` — rerunning a
+//! killed invocation picks up each campaign where its log left off.
+//! `serve --store DIR` gives the campaign server the same warm-store path.
+//! `triage` scans a store and clusters every recorded outcome by
+//! `(kind, decline, fault site)` without re-running anything.
 //!
 //! `--threads` takes a comma list: `bench-json` emits one BENCH row set per
 //! listed thread count in a single invocation (default sweep `1,4,16`);
@@ -37,15 +48,17 @@
 //! JSONL. Telemetry never changes campaign results — only observes them.
 
 use bench::{
-    coverage_campaign_traced, decline_rows, manifestation_campaign_traced, pct, prepare,
+    coverage_campaign_stored, coverage_campaign_traced, decline_rows,
+    manifestation_campaign_stored, manifestation_campaign_traced, pct, prepare,
     section2_workloads, section5_workloads, PreparedWorkload, Table, BENCH_SCHEMA_VERSION,
 };
+use carestore::Store;
 use cluster::{simulate_fault_free, simulate_faulty, simulate_faulty_traced, ClusterConfig,
     Resilience};
 use faultsim::{CampaignConfig, CampaignReport, EngineKind, FaultModel};
 use opt::OptLevel;
 use std::collections::HashMap;
-use telemetry::{NoTelemetry, Recorder};
+use telemetry::{Hooks, NoTelemetry, Recorder};
 
 struct Args {
     injections: usize,
@@ -54,6 +67,8 @@ struct Args {
     threads: Vec<usize>,
     telemetry: Option<std::path::PathBuf>,
     engine: EngineKind,
+    /// `--store DIR` / `--resume`: content-addressed record store.
+    store: Option<std::path::PathBuf>,
     experiments: Vec<String>,
 }
 
@@ -63,6 +78,7 @@ fn parse_args() -> Args {
     let mut threads = Vec::new();
     let mut telemetry = None;
     let mut engine = None;
+    let mut store: Option<std::path::PathBuf> = None;
     let mut experiments = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -92,6 +108,12 @@ fn parse_args() -> Args {
             "--telemetry" => {
                 telemetry = Some(it.next().expect("--telemetry OUT.jsonl").into());
             }
+            "--store" => {
+                store = Some(it.next().expect("--store DIR").into());
+            }
+            "--resume" => {
+                store.get_or_insert_with(|| "care_store".into());
+            }
             "--engine" => {
                 engine = Some(
                     it.next()
@@ -101,9 +123,10 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--injections N] [--seed S] [--threads N[,N,...]] [--engine interp|compiled] [--telemetry OUT.jsonl] [table2|table3|table4|table5|table8|table9|table10|table11|fig7|fig9|fig10|fig12|declines|bench-json|all]...\n       \
-                     repro serve  [--addr HOST:PORT] [--budget-cap N] [--max-queue N]\n       \
-                     repro submit [--addr HOST:PORT] [--workload NAME] [--params A,B,..] [--injections N] [--seed S] [--engine E] [--scheduler S] [--opt O0|O1] [--job-threads N] [--stats] [--bench [--clients C] [--jobs J]]"
+                    "usage: repro [--injections N] [--seed S] [--threads N[,N,...]] [--engine interp|compiled] [--telemetry OUT.jsonl] [--store DIR | --resume] [table2|table3|table4|table5|table8|table9|table10|table11|fig7|fig9|fig10|fig12|declines|bench-json|all]...\n       \
+                     repro serve  [--addr HOST:PORT] [--budget-cap N] [--max-queue N] [--store DIR]\n       \
+                     repro submit [--addr HOST:PORT] [--workload NAME] [--params A,B,..] [--injections N] [--seed S] [--engine E] [--scheduler S] [--opt O0|O1] [--job-threads N] [--stats] [--bench [--clients C] [--jobs J]]\n       \
+                     repro triage [--store DIR]"
                 );
                 std::process::exit(0);
             }
@@ -134,12 +157,14 @@ fn parse_args() -> Args {
             std::process::exit(2);
         }
     }
-    Args { injections, seed, threads, telemetry, engine, experiments }
+    Args { injections, seed, threads, telemetry, engine, store, experiments }
 }
 
 /// §2-style campaign, routed through the global recorder when telemetry is
-/// on. The `None` arm monomorphizes with [`NoTelemetry`] — the same code the
-/// untraced binary always ran.
+/// on and through the content-addressed store when `--store` is given. The
+/// `(None, None)` arm monomorphizes with [`NoTelemetry`] — the same code the
+/// untraced binary always ran. A store I/O failure falls back to the
+/// unbacked run: persistence degrades, results do not.
 fn run_manifest(
     p: &PreparedWorkload,
     inj: usize,
@@ -147,10 +172,31 @@ fn run_manifest(
     seed: u64,
     engine: EngineKind,
     rec: Option<&Recorder>,
+    store: Option<&Store>,
 ) -> CampaignReport {
+    fn go<H: Hooks>(
+        p: &PreparedWorkload,
+        inj: usize,
+        model: FaultModel,
+        seed: u64,
+        engine: EngineKind,
+        hooks: &H,
+        store: Option<&Store>,
+    ) -> CampaignReport {
+        if let Some(s) = store {
+            match manifestation_campaign_stored(s, p, inj, model, seed, engine, hooks) {
+                Ok(run) => {
+                    report_store_run(p.name, inj, &run.stats);
+                    return run.report;
+                }
+                Err(e) => eprintln!("[repro] store error for {} ({e}); running unbacked", p.name),
+            }
+        }
+        manifestation_campaign_traced(p, inj, model, seed, engine, hooks)
+    }
     match rec {
-        Some(r) => manifestation_campaign_traced(p, inj, model, seed, engine, r),
-        None => manifestation_campaign_traced(p, inj, model, seed, engine, &NoTelemetry),
+        Some(r) => go(p, inj, model, seed, engine, r, store),
+        None => go(p, inj, model, seed, engine, &NoTelemetry, store),
     }
 }
 
@@ -162,11 +208,44 @@ fn run_coverage(
     seed: u64,
     engine: EngineKind,
     rec: Option<&Recorder>,
+    store: Option<&Store>,
 ) -> CampaignReport {
-    match rec {
-        Some(r) => coverage_campaign_traced(p, inj, model, seed, engine, r),
-        None => coverage_campaign_traced(p, inj, model, seed, engine, &NoTelemetry),
+    fn go<H: Hooks>(
+        p: &PreparedWorkload,
+        inj: usize,
+        model: FaultModel,
+        seed: u64,
+        engine: EngineKind,
+        hooks: &H,
+        store: Option<&Store>,
+    ) -> CampaignReport {
+        if let Some(s) = store {
+            match coverage_campaign_stored(s, p, inj, model, seed, engine, hooks) {
+                Ok(run) => {
+                    report_store_run(p.name, inj, &run.stats);
+                    return run.report;
+                }
+                Err(e) => eprintln!("[repro] store error for {} ({e}); running unbacked", p.name),
+            }
+        }
+        coverage_campaign_traced(p, inj, model, seed, engine, hooks)
     }
+    match rec {
+        Some(r) => go(p, inj, model, seed, engine, r, store),
+        None => go(p, inj, model, seed, engine, &NoTelemetry, store),
+    }
+}
+
+/// One stderr line per store-backed campaign: how much of it was warm.
+fn report_store_run(name: &str, requested: usize, stats: &carestore::StoreStats) {
+    eprintln!(
+        "[repro]   {name}: store reused {} records, skipped {} known-benign, \
+         executed {} residual ({:.0}% of {requested})",
+        stats.hits,
+        stats.known_skips,
+        stats.misses,
+        100.0 * stats.residual_fraction(requested),
+    );
 }
 
 /// `repro bench-json`: time end-to-end CARE coverage campaigns on the full
@@ -185,6 +264,10 @@ fn run_coverage(
 /// work-stealing pool's batch/steal counters — next to the throughput
 /// numbers, and a top-level `scaling` section condenses the sweep into
 /// injections/s, speedup and parallel efficiency per (workload, engine).
+///
+/// Schema v6 adds a top-level `store` section: one workload's coverage
+/// campaign timed cold through a fresh content-addressed store and again
+/// warm, recording hit/miss/residual accounting and the warm speedup.
 fn bench_json(injections: usize, seed: u64, cli_threads: &[usize]) {
     use std::fmt::Write as _;
     use std::time::Instant;
@@ -389,6 +472,61 @@ fn bench_json(injections: usize, seed: u64, cli_threads: &[usize]) {
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    // v6 `store` section: the first prepared workload run cold through a
+    // fresh content-addressed store, then immediately warm. The warm run
+    // reuses every record (0 residual) and must reproduce the cold report
+    // bit-identically — the section records both wall times and the
+    // measured speedup of skipping execution entirely.
+    let store_section = {
+        let p = &prepared[0];
+        let dir = std::env::temp_dir().join(format!("care-bench-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).expect("open bench store");
+        eprintln!("[repro] timing warm-vs-cold store runs on {}...", p.name);
+        let t0 = Instant::now();
+        let cold = coverage_campaign_stored(
+            &store, p, injections, FaultModel::SingleBit, seed, EngineKind::Interp, &NoTelemetry,
+        )
+        .expect("cold store run");
+        let cold_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let warm = coverage_campaign_stored(
+            &store, p, injections, FaultModel::SingleBit, seed, EngineKind::Interp, &NoTelemetry,
+        )
+        .expect("warm store run");
+        let warm_s = t1.elapsed().as_secs_f64();
+        let identical = warm.report == cold.report;
+        assert!(identical, "warm store run must reproduce the cold report bit-identically");
+        eprintln!(
+            "[repro]   cold {cold_s:.3}s ({} residual), warm {warm_s:.3}s ({} residual, \
+             {} hits) = {:.1}x",
+            cold.stats.misses,
+            warm.stats.misses,
+            warm.stats.hits,
+            cold_s / warm_s.max(1e-9),
+        );
+        let run_obj = |stats: &carestore::StoreStats, wall: f64| {
+            format!(
+                "{{\"wall_s\": {wall:.6}, \"hits\": {}, \"misses\": {}, \
+                 \"known_skips\": {}, \"residual_fraction\": {:.6}}}",
+                stats.hits,
+                stats.misses,
+                stats.known_skips,
+                stats.residual_fraction(injections),
+            )
+        };
+        let section = format!(
+            "{{\n    \"workload\": \"{}\",\n    \"injections\": {injections},\n    \
+             \"cold\": {},\n    \"warm\": {},\n    \
+             \"warm_speedup\": {:.2},\n    \"reports_identical\": {identical}\n  }}",
+            p.name,
+            run_obj(&cold.stats, cold_s),
+            run_obj(&warm.stats, warm_s),
+            cold_s / warm_s.max(1e-9),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        section
+    };
     let threads_json = sweep.iter().map(usize::to_string).collect::<Vec<_>>().join(", ");
     let json = format!(
         "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \
@@ -401,6 +539,7 @@ fn bench_json(injections: usize, seed: u64, cli_threads: &[usize]) {
          \"prep_fraction_mean\": {suite_prep:.4},\n    \
          \"prep_over_98pct\": {all_over98},\n    \
          \"tlb_hit_rate\": {suite_hit:.6}\n  }},\n  \
+         \"store\": {store_section},\n  \
          \"scaling\": [\n{scaling}\n  ],\n  \
          \"workloads\": [\n{}\n  ]\n}}\n",
         telemetry::SCHEMA_VERSION,
@@ -418,6 +557,8 @@ struct ServeArgs {
     addr_given: bool,
     budget_cap: usize,
     max_queue: usize,
+    /// `serve --store DIR`: back the server's jobs with a record store.
+    store_dir: Option<std::path::PathBuf>,
     spec: careserve::JobSpec,
     stats_only: bool,
     bench: bool,
@@ -431,6 +572,7 @@ fn parse_serve_args(args: &[String]) -> ServeArgs {
         addr_given: false,
         budget_cap: 0,
         max_queue: 8,
+        store_dir: None,
         spec: careserve::JobSpec::default(),
         stats_only: false,
         bench: false,
@@ -452,6 +594,10 @@ fn parse_serve_args(args: &[String]) -> ServeArgs {
             }
             "--budget-cap" => out.budget_cap = num(&mut it, "--budget-cap"),
             "--max-queue" => out.max_queue = num(&mut it, "--max-queue"),
+            "--store" => {
+                out.store_dir =
+                    Some(it.next().unwrap_or_else(|| panic!("--store DIR")).into());
+            }
             "--injections" => out.spec.injections = num(&mut it, "--injections"),
             "--job-threads" => out.spec.threads = num(&mut it, "--job-threads"),
             "--clients" => out.clients = num(&mut it, "--clients").max(1),
@@ -507,15 +653,20 @@ fn parse_serve_args(args: &[String]) -> ServeArgs {
 /// `repro serve`: run the campaign server until the process is killed.
 fn cmd_serve(args: &[String]) {
     let a = parse_serve_args(args);
+    let store_note = a
+        .store_dir
+        .as_ref()
+        .map_or(String::new(), |d| format!(", store {}", d.display()));
     let handle = careserve::CampaignServer::start(careserve::ServerConfig {
         addr: a.addr,
         budget_cap: a.budget_cap,
         max_queue: a.max_queue,
+        store_dir: a.store_dir,
         ..careserve::ServerConfig::default()
     })
     .expect("bind campaign server");
     println!(
-        "[repro] careserve v{} listening on {} (budget cap {}, queue {})",
+        "[repro] careserve v{} listening on {} (budget cap {}, queue {}{store_note})",
         careserve::PROTO_VERSION,
         handle.addr(),
         if a.budget_cap == 0 { "pool width".to_string() } else { a.budget_cap.to_string() },
@@ -540,10 +691,45 @@ fn print_stats(s: &careserve::StatsSnapshot) {
         ("budget cap", s.budget_cap),
         ("campaign cache hits", s.cache_hits),
         ("campaign cache misses", s.cache_misses),
+        ("campaign cache evictions", s.cache_evictions),
         ("records streamed", s.records_streamed),
     ] {
         t.row(vec![name.to_string(), v.to_string()]);
     }
+    println!("{}", t.render());
+}
+
+/// `repro triage [--store DIR]`: cluster every recorded outcome in a store
+/// by `(kind, decline, fault site)` — cross-run triage without re-running
+/// a single injection.
+fn cmd_triage(args: &[String]) {
+    let mut dir = std::path::PathBuf::from("care_store");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => dir = it.next().unwrap_or_else(|| panic!("--store DIR")).into(),
+            other => panic!("unknown option '{other}' (see repro --help)"),
+        }
+    }
+    let store = Store::open(&dir)
+        .unwrap_or_else(|e| panic!("open store {}: {e}", dir.display()));
+    let clusters = carestore::triage(&store)
+        .unwrap_or_else(|e| panic!("triage {}: {e}", dir.display()));
+    let mut t = Table::new(
+        &format!("store triage: {} ({} clusters)", dir.display(), clusters.len()),
+        &["Outcome", "Decline", "Site (mod,func,inst)", "Records", "Campaigns"],
+    );
+    let total: u64 = clusters.iter().map(|c| c.count).sum();
+    for c in &clusters {
+        t.row(vec![
+            c.outcome.clone(),
+            c.decline.clone(),
+            format!("{},{},{}", c.site.0, c.site.1, c.site.2),
+            c.count.to_string(),
+            c.campaigns.to_string(),
+        ]);
+    }
+    t.row(vec!["total".into(), "".into(), "".into(), total.to_string(), "".into()]);
     println!("{}", t.render());
 }
 
@@ -809,6 +995,7 @@ fn main() {
     match argv.first().map(String::as_str) {
         Some("serve") => return cmd_serve(&argv[1..]),
         Some("submit") => return cmd_submit(&argv[1..]),
+        Some("triage") => return cmd_triage(&argv[1..]),
         _ => {}
     }
     let args = parse_args();
@@ -828,6 +1015,15 @@ fn main() {
     let recorder = args.telemetry.as_ref().map(|_| Recorder::new());
     let rec = recorder.as_ref();
 
+    // One store spans the invocation too (`--store DIR` / `--resume`);
+    // every §2/§5 campaign consults it and appends its fresh records.
+    let store = args.store.as_ref().map(|dir| {
+        let s = Store::open(dir).unwrap_or_else(|e| panic!("open store {}: {e}", dir.display()));
+        eprintln!("[repro] campaigns backed by record store at {}", dir.display());
+        s
+    });
+    let store = store.as_ref();
+
     // Explicit-only (not part of `all`): perf measurement artefact.
     if args.experiments.iter().any(|e| e == "bench-json") {
         bench_json(args.injections, args.seed, &args.threads);
@@ -846,7 +1042,9 @@ fn main() {
                     .iter()
                     .map(|w| {
                         let p = prepare(w, OptLevel::O0);
-                        let r = run_manifest(&p, inj, FaultModel::SingleBit, seed, args.engine, rec);
+                        let r = run_manifest(
+                            &p, inj, FaultModel::SingleBit, seed, args.engine, rec, store,
+                        );
                         (p, r)
                     })
                     .collect(),
@@ -973,7 +1171,9 @@ fn main() {
             for w in section5_workloads() {
                 for level in [OptLevel::O0, OptLevel::O1] {
                     let p = prepare(&w, level);
-                    let r = run_coverage(&p, inj, FaultModel::SingleBit, seed, args.engine, rec);
+                    let r = run_coverage(
+                        &p, inj, FaultModel::SingleBit, seed, args.engine, rec, store,
+                    );
                     all.push((w.name.to_string(), level.to_string(), r));
                 }
             }
@@ -1155,7 +1355,9 @@ fn main() {
                     .iter()
                     .map(|w| {
                         let p = prepare(w, OptLevel::O0);
-                        let r = run_manifest(&p, inj, FaultModel::DoubleBit, seed, args.engine, rec);
+                        let r = run_manifest(
+                            &p, inj, FaultModel::DoubleBit, seed, args.engine, rec, store,
+                        );
                         (p.name.to_string(), r)
                     })
                     .collect(),
@@ -1209,7 +1411,10 @@ fn main() {
         for w in section5_workloads() {
             for level in [OptLevel::O0, OptLevel::O1] {
                 let p = prepare(&w, level);
-                let r = run_coverage(&p, args.injections, FaultModel::DoubleBit, args.seed, args.engine, rec);
+                let r = run_coverage(
+                    &p, args.injections, FaultModel::DoubleBit, args.seed, args.engine, rec,
+                    store,
+                );
                 t.row(vec![
                     w.name.to_string(),
                     level.to_string(),

@@ -34,7 +34,12 @@ use workloads::Workload;
 ///   server, plus the server's queue-depth telemetry and cache hit/miss
 ///   counters. Readers must tolerate its absence (`repro bench-json` alone
 ///   does not emit it).
-pub const BENCH_SCHEMA_VERSION: u32 = 5;
+/// * v6 — top-level `store` section: one coverage campaign run cold through
+///   a fresh content-addressed `carestore` store and immediately re-run
+///   warm. Reports record hits, misses (the residual actually executed),
+///   known skips, the residual fraction of each run, both wall times and
+///   the measured warm-vs-cold speedup.
+pub const BENCH_SCHEMA_VERSION: u32 = 6;
 
 /// Rows of a formatted text table.
 pub struct Table {
@@ -102,13 +107,22 @@ pub struct PreparedWorkload {
     pub app: CompiledApp,
     /// The ready-to-run campaign.
     pub campaign: Campaign,
+    /// Content-addressed campaign key (canonical module hash + opt level).
+    pub key: carestore::CampaignKey,
 }
 
 /// Compile a workload and prepare its campaign.
 pub fn prepare(workload: &Workload, level: OptLevel) -> PreparedWorkload {
     let app = care::compile(&workload.module, level);
     let campaign = Campaign::prepare(workload, app.clone(), vec![]);
-    PreparedWorkload { name: workload.name, app, campaign }
+    let key = carestore::campaign_key(
+        &workload.module,
+        workload.entry,
+        &workload.args,
+        &workload.outputs,
+        &format!("{:?}", level),
+    );
+    PreparedWorkload { name: workload.name, app, campaign, key }
 }
 
 /// The §2-style campaign (whole program, no CARE evaluation).
@@ -179,6 +193,64 @@ pub fn coverage_campaign_traced<H: Hooks>(
     )
 }
 
+/// [`manifestation_campaign_traced`] routed through a content-addressed
+/// store: records already present in the store's log are reused and only
+/// the residual injections execute. The returned report is bit-identical
+/// to a fresh full run at the same configuration.
+pub fn manifestation_campaign_stored<H: Hooks>(
+    store: &carestore::Store,
+    prepared: &PreparedWorkload,
+    injections: usize,
+    model: FaultModel,
+    seed: u64,
+    engine: EngineKind,
+    hooks: &H,
+) -> std::io::Result<carestore::StoreRun> {
+    store.run_campaign(
+        &prepared.key,
+        &prepared.campaign,
+        &CampaignConfig {
+            injections,
+            model,
+            seed,
+            evaluate_care: false,
+            app_only: false,
+            engine,
+            ..CampaignConfig::default()
+        },
+        hooks,
+        &faultsim::JobControl::new(),
+    )
+}
+
+/// [`coverage_campaign_traced`] routed through a content-addressed store
+/// (see [`manifestation_campaign_stored`]).
+pub fn coverage_campaign_stored<H: Hooks>(
+    store: &carestore::Store,
+    prepared: &PreparedWorkload,
+    injections: usize,
+    model: FaultModel,
+    seed: u64,
+    engine: EngineKind,
+    hooks: &H,
+) -> std::io::Result<carestore::StoreRun> {
+    store.run_campaign(
+        &prepared.key,
+        &prepared.campaign,
+        &CampaignConfig {
+            injections,
+            model,
+            seed,
+            evaluate_care: true,
+            app_only: true,
+            engine,
+            ..CampaignConfig::default()
+        },
+        hooks,
+        &faultsim::JobControl::new(),
+    )
+}
+
 /// Decline-reason histogram of a campaign as deterministically-ordered
 /// `(kind, count)` rows (declaration order of [`safeguard::DeclineKind`]),
 /// skipping zero-count kinds. Shared by the repro declines table and the
@@ -231,5 +303,31 @@ mod tests {
         let p = prepare(&w, OptLevel::O0);
         let r = manifestation_campaign(&p, 10, FaultModel::SingleBit, 1);
         assert!(r.total() >= 8);
+    }
+
+    #[test]
+    fn stored_campaign_warm_run_executes_no_residual() {
+        let dir = std::env::temp_dir().join(format!(
+            "care-bench-lib-store-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = carestore::Store::open(&dir).expect("open store");
+        let w = workloads::hpccg::build(3, 2);
+        let p = prepare(&w, OptLevel::O0);
+        let cold = coverage_campaign_stored(
+            &store, &p, 12, FaultModel::SingleBit, 7, EngineKind::Interp, &NoTelemetry,
+        )
+        .expect("cold run");
+        let warm = coverage_campaign_stored(
+            &store, &p, 12, FaultModel::SingleBit, 7, EngineKind::Interp, &NoTelemetry,
+        )
+        .expect("warm run");
+        assert_eq!(cold.stats.misses, 12);
+        assert_eq!(cold.stats.hits, 0);
+        assert_eq!(warm.stats.misses, 0);
+        assert_eq!(warm.stats.hits, 12);
+        assert_eq!(warm.report, cold.report);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -19,6 +19,11 @@
 //! times) are safe as-is: the emitter's shortest-round-trip rendering
 //! parses back to identical bits.
 //!
+//! The `u64` convention and the whole [`InjectionRecord`] field codec
+//! live in [`carestore::record`] and are shared verbatim with the store's
+//! on-disk record log — one encoding, so a streamed `record` frame and a
+//! logged record line carry byte-identical fields and can never drift.
+//!
 //! ## Frame vocabulary
 //!
 //! Client→server: `job` (a [`JobSpec`]), `stats` (server counters).
@@ -28,17 +33,19 @@
 //! one of `report` + `done`, `failed` (worker panic), or `reject`
 //! (admission/validation, with a typed [`RejectReason`]).
 
-use faultsim::{
-    CampaignReport, CareResult, FaultModel, InjectedInto, InjectionPoint, InjectionRecord,
-    Outcome, Scheduler, Signal, StepSplit,
+use carestore::record::{
+    parse_decline, push_field_bool, push_field_str, push_field_u64, push_record_fields,
+    record_from_json,
 };
+use faultsim::{CampaignReport, FaultModel, InjectionRecord, Scheduler};
 use opt::OptLevel;
 use safeguard::DeclineKind;
-use simx::{EngineKind, ModuleId};
+use simx::EngineKind;
 use std::collections::HashMap;
 use telemetry::{parse_json, push_json_f64, push_json_str, Json};
-use tinyir::FuncId;
 use workloads::Workload;
+
+pub use carestore::record::{get_u64, push_u64};
 
 /// Wire-protocol version. Mismatches are rejected with
 /// [`RejectReason::UnsupportedProto`], never guessed at.
@@ -59,32 +66,6 @@ pub const MAX_INJECTIONS: usize = 100_000;
 /// bounded; the §2 defaults are far below it).
 pub const MAX_WORKLOAD_PARAM: i64 = 4096;
 
-/// Largest u64 exactly representable as an f64-backed JSON number.
-const MAX_SAFE_JSON_INT: u64 = 1 << 53;
-
-/// Append `v` as a JSON value that survives the f64-backed parser: a
-/// number while exact, a decimal string beyond 2⁵³.
-pub fn push_u64(out: &mut String, v: u64) {
-    if v <= MAX_SAFE_JSON_INT {
-        out.push_str(&v.to_string());
-    } else {
-        out.push('"');
-        out.push_str(&v.to_string());
-        out.push('"');
-    }
-}
-
-/// Decode a `u64` field written by [`push_u64`] (number or string form).
-pub fn get_u64(v: &Json, key: &str) -> Option<u64> {
-    match v.get(key)? {
-        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= MAX_SAFE_JSON_INT as f64 => {
-            Some(*n as u64)
-        }
-        Json::Str(s) => s.parse().ok(),
-        _ => None,
-    }
-}
-
 fn get_usize(v: &Json, key: &str) -> Option<usize> {
     get_u64(v, key).map(|n| n as usize)
 }
@@ -98,38 +79,6 @@ fn get_bool(v: &Json, key: &str) -> Option<bool> {
 
 fn get_str<'a>(v: &'a Json, key: &str) -> Option<&'a str> {
     v.get(key).and_then(Json::as_str)
-}
-
-fn get_f64(v: &Json, key: &str) -> Option<f64> {
-    v.get(key).and_then(Json::as_f64)
-}
-
-fn push_field_str(out: &mut String, key: &str, val: &str) {
-    out.push(',');
-    push_json_str(out, key);
-    out.push(':');
-    push_json_str(out, val);
-}
-
-fn push_field_u64(out: &mut String, key: &str, val: u64) {
-    out.push(',');
-    push_json_str(out, key);
-    out.push(':');
-    push_u64(out, val);
-}
-
-fn push_field_f64(out: &mut String, key: &str, val: f64) {
-    out.push(',');
-    push_json_str(out, key);
-    out.push(':');
-    push_json_f64(out, val);
-}
-
-fn push_field_bool(out: &mut String, key: &str, val: bool) {
-    out.push(',');
-    push_json_str(out, key);
-    out.push(':');
-    out.push_str(if val { "true" } else { "false" });
 }
 
 fn frame_open(kind: &str) -> String {
@@ -455,19 +404,26 @@ impl JobSpec {
     /// A stable cache key for the campaign this spec needs: everything
     /// [`faultsim::Campaign::prepare`] depends on (program + opt level),
     /// nothing it doesn't (seed, injections, engine, scheduler).
-    pub fn campaign_key(&self) -> String {
-        match &self.workload {
-            WorkloadSel::Named { name, params } => {
-                format!("{name}{params:?}@{}", opt_name(self.opt))
-            }
-            WorkloadSel::Inline { text, args, outputs } => {
-                // The full text is the key: no hash collisions, and the
-                // cache entry already holds a prepared campaign that dwarfs
-                // the text anyway.
-                format!("inline:{args:?}:{outputs:?}@{}:{text}", opt_name(self.opt))
-            }
-        }
+    ///
+    /// The key is the canonical content-addressed [`carestore::CampaignKey`]
+    /// encoding, hashed over the **resolved module's canonical printing** —
+    /// not over the spec text. The old key interpolated `{params:?}` /
+    /// `{args:?}` `Debug` output and the raw inline text, so two
+    /// formattings of the same program got distinct keys (cache misses,
+    /// split store logs) while a `Debug`-format change could silently
+    /// collide or rotate every key. Resolution can fail, so this returns
+    /// the same error `resolve_workload` would.
+    pub fn campaign_key(&self) -> Result<String, String> {
+        let w = resolve_workload(&self.workload)?;
+        Ok(campaign_key_for(&w, self.opt).encode())
     }
+}
+
+/// The canonical campaign key for an already-resolved workload:
+/// [`carestore::campaign_key`] over the module's canonical printing plus
+/// the golden-run invocation. `.encode()` gives the `care1:...` string.
+pub fn campaign_key_for(w: &Workload, opt: OptLevel) -> carestore::CampaignKey {
+    carestore::campaign_key(&w.module, w.entry, &w.args, &w.outputs, opt_name(opt))
 }
 
 /// Resolve the spec's workload selector to a runnable [`Workload`].
@@ -585,103 +541,20 @@ pub fn done_frame(job_id: u64) -> String {
 
 /// Encode one record as a `record` frame. Exact: every integer goes
 /// through [`push_u64`], every float through the shortest-round-trip
-/// renderer, so [`decode_record`] reproduces the record bit for bit.
+/// renderer, so [`decode_record`] reproduces the record bit for bit. The
+/// field layout is [`carestore::record::push_record_fields`] — the same
+/// bytes the store appends to its log.
 pub fn encode_record(job_id: u64, r: &InjectionRecord) -> String {
     let mut s = frame_open("record");
     push_field_u64(&mut s, "job_id", job_id);
-    push_field_u64(&mut s, "module", r.point.module.0 as u64);
-    push_field_u64(&mut s, "func", r.point.func.0 as u64);
-    push_field_u64(&mut s, "inst", r.point.inst as u64);
-    push_field_u64(&mut s, "nth", r.point.nth);
-    let (tk, tv) = match r.target {
-        InjectedInto::Reg(id) => ("reg", id as u64),
-        InjectedInto::Mem(addr) => ("mem", addr),
-        InjectedInto::Pc => ("pc", 0),
-        InjectedInto::Skipped => ("skipped", 0),
-    };
-    push_field_str(&mut s, "target", tk);
-    push_field_u64(&mut s, "target_val", tv);
-    push_field_str(&mut s, "outcome", r.outcome.name());
-    if let Some(lat) = r.latency {
-        push_field_u64(&mut s, "latency", lat);
-    }
-    push_field_u64(&mut s, "sim_steps", r.sim_steps);
-    push_field_u64(&mut s, "prefix", r.split.prefix);
-    push_field_u64(&mut s, "suffix", r.split.suffix);
-    push_field_u64(&mut s, "care_steps", r.split.care);
-    if let Some(c) = &r.care {
-        push_field_bool(&mut s, "covered", c.covered);
-        push_field_u64(&mut s, "recoveries", c.recoveries);
-        push_field_f64(&mut s, "recovery_ms", c.recovery_ms);
-        if let Some(d) = c.decline {
-            push_field_str(&mut s, "decline", d.short_name());
-        }
-    }
+    push_record_fields(&mut s, r);
     s.push('}');
     s
 }
 
-fn parse_outcome(s: &str) -> Option<Outcome> {
-    Some(match s {
-        "benign" => Outcome::Benign,
-        "sdc" => Outcome::Sdc,
-        "hang" => Outcome::Hang,
-        "segv" => Outcome::SoftFailure(Signal::Segv),
-        "bus" => Outcome::SoftFailure(Signal::Bus),
-        "abort" => Outcome::SoftFailure(Signal::Abort),
-        "signal_other" => Outcome::SoftFailure(Signal::Other),
-        _ => return None,
-    })
-}
-
-fn parse_decline(s: &str) -> Option<DeclineKind> {
-    DeclineKind::ALL.into_iter().find(|d| d.short_name() == s)
-}
-
 /// Decode a `record` frame produced by [`encode_record`].
 pub fn decode_record(v: &Json) -> Result<InjectionRecord, String> {
-    let want = |key: &str| format!("record frame missing {key:?}");
-    let point = InjectionPoint {
-        module: ModuleId(get_u64(v, "module").ok_or_else(|| want("module"))? as u32),
-        func: FuncId(get_u64(v, "func").ok_or_else(|| want("func"))? as u32),
-        inst: get_usize(v, "inst").ok_or_else(|| want("inst"))?,
-        nth: get_u64(v, "nth").ok_or_else(|| want("nth"))?,
-    };
-    let tv = get_u64(v, "target_val").unwrap_or(0);
-    let target = match get_str(v, "target").ok_or_else(|| want("target"))? {
-        "reg" => InjectedInto::Reg(tv as u8),
-        "mem" => InjectedInto::Mem(tv),
-        "pc" => InjectedInto::Pc,
-        "skipped" => InjectedInto::Skipped,
-        other => return Err(format!("unknown injection target {other:?}")),
-    };
-    let outcome = parse_outcome(get_str(v, "outcome").ok_or_else(|| want("outcome"))?)
-        .ok_or_else(|| "unknown outcome".to_string())?;
-    let care = match get_bool(v, "covered") {
-        Some(covered) => Some(CareResult {
-            covered,
-            recoveries: get_u64(v, "recoveries").ok_or_else(|| want("recoveries"))?,
-            recovery_ms: get_f64(v, "recovery_ms").ok_or_else(|| want("recovery_ms"))?,
-            decline: match get_str(v, "decline") {
-                Some(d) => Some(parse_decline(d).ok_or_else(|| format!("unknown decline {d:?}"))?),
-                None => None,
-            },
-        }),
-        None => None,
-    };
-    Ok(InjectionRecord {
-        point,
-        target,
-        outcome,
-        latency: get_u64(v, "latency"),
-        sim_steps: get_u64(v, "sim_steps").ok_or_else(|| want("sim_steps"))?,
-        split: StepSplit {
-            prefix: get_u64(v, "prefix").ok_or_else(|| want("prefix"))?,
-            suffix: get_u64(v, "suffix").ok_or_else(|| want("suffix"))?,
-            care: get_u64(v, "care_steps").ok_or_else(|| want("care_steps"))?,
-        },
-        care,
-    })
+    record_from_json(v)
 }
 
 // ---------------------------------------------------------------------------
@@ -845,12 +718,14 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Prepared-campaign cache misses (prepares actually run).
     pub cache_misses: u64,
+    /// Prepared campaigns evicted from the bounded cache (LRU order).
+    pub cache_evictions: u64,
     /// `record` frames streamed to clients.
     pub records_streamed: u64,
 }
 
 /// Field names of the `stats` frame, in emission order.
-const STATS_FIELDS: [&str; 11] = [
+const STATS_FIELDS: [&str; 12] = [
     "jobs_accepted",
     "jobs_rejected",
     "jobs_completed",
@@ -861,11 +736,12 @@ const STATS_FIELDS: [&str; 11] = [
     "budget_cap",
     "cache_hits",
     "cache_misses",
+    "cache_evictions",
     "records_streamed",
 ];
 
 impl StatsSnapshot {
-    fn values(&self) -> [u64; 11] {
+    fn values(&self) -> [u64; 12] {
         [
             self.jobs_accepted,
             self.jobs_rejected,
@@ -877,6 +753,7 @@ impl StatsSnapshot {
             self.budget_cap,
             self.cache_hits,
             self.cache_misses,
+            self.cache_evictions,
             self.records_streamed,
         ]
     }
@@ -893,11 +770,11 @@ impl StatsSnapshot {
 
     /// Decode a `stats` frame.
     pub fn from_json(v: &Json) -> Result<StatsSnapshot, String> {
-        let mut vals = [0u64; 11];
+        let mut vals = [0u64; 12];
         for (slot, name) in vals.iter_mut().zip(STATS_FIELDS) {
             *slot = get_u64(v, name).ok_or_else(|| format!("stats frame missing {name:?}"))?;
         }
-        let [jobs_accepted, jobs_rejected, jobs_completed, jobs_failed, jobs_cancelled, queue_depth, inflight_budget, budget_cap, cache_hits, cache_misses, records_streamed] =
+        let [jobs_accepted, jobs_rejected, jobs_completed, jobs_failed, jobs_cancelled, queue_depth, inflight_budget, budget_cap, cache_hits, cache_misses, cache_evictions, records_streamed] =
             vals;
         Ok(StatsSnapshot {
             jobs_accepted,
@@ -910,6 +787,7 @@ impl StatsSnapshot {
             budget_cap,
             cache_hits,
             cache_misses,
+            cache_evictions,
             records_streamed,
         })
     }
@@ -935,6 +813,9 @@ pub fn parse_frame(line: &str) -> Result<Json, (RejectReason, String)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use faultsim::{CareResult, InjectedInto, InjectionPoint, Outcome, Signal, StepSplit};
+    use simx::ModuleId;
+    use tinyir::FuncId;
 
     #[test]
     fn u64_fields_round_trip_above_53_bits() {
@@ -1114,6 +995,7 @@ mod tests {
             budget_cap: 8,
             cache_hits: 6,
             cache_misses: 4,
+            cache_evictions: 2,
             records_streamed: 1234,
         };
         let v = parse_frame(&snap.to_frame()).unwrap();
@@ -1131,15 +1013,64 @@ mod tests {
 
     #[test]
     fn campaign_key_separates_programs_not_seeds() {
+        let key = |s: &JobSpec| s.campaign_key().expect("spec resolves");
         let a = JobSpec::default();
         let b = JobSpec { seed: 1, injections: 999, ..JobSpec::default() };
-        assert_eq!(a.campaign_key(), b.campaign_key());
+        assert_eq!(key(&a), key(&b));
         let c = JobSpec { opt: OptLevel::O0, ..JobSpec::default() };
-        assert_ne!(a.campaign_key(), c.campaign_key());
+        assert_ne!(key(&a), key(&c));
         let d = JobSpec {
             workload: WorkloadSel::Named { name: "hpccg".to_string(), params: vec![2, 1] },
             ..JobSpec::default()
         };
-        assert_ne!(a.campaign_key(), d.campaign_key());
+        assert_ne!(key(&a), key(&d));
+        // An unresolvable spec surfaces the resolution error instead of a
+        // nonsense key (the old Debug-format key happily keyed garbage).
+        let bad = JobSpec {
+            workload: WorkloadSel::Named { name: "nope".to_string(), params: vec![] },
+            ..JobSpec::default()
+        };
+        assert!(bad.campaign_key().is_err());
+    }
+
+    /// The campaign key is a *persistence contract*: stored log file names
+    /// are derived from it, so the exact string for a fixed program must
+    /// never change. If this pin breaks, existing stores silently go cold.
+    #[test]
+    fn campaign_key_golden_pin() {
+        let key = JobSpec::default().campaign_key().expect("hpccg resolves");
+        assert_eq!(key, "care1:266103adb46030c19fda97de31a19029:O1:e1");
+    }
+
+    /// The key hashes the canonical module printing, not the inline text:
+    /// reformatting (comments, indentation, blank lines) must not change
+    /// the key, while a one-instruction program change must.
+    #[test]
+    fn campaign_key_is_formatting_invariant_for_inline_modules() {
+        let base = JobSpec::default();
+        let canonical = resolve_workload(&base.workload).unwrap();
+        let text = tinyir::display::print_module(&canonical.module);
+        let inline = |text: String| JobSpec {
+            workload: WorkloadSel::Inline {
+                text,
+                args: canonical.args.clone(),
+                outputs: canonical.outputs.clone(),
+            },
+            ..JobSpec::default()
+        };
+        let reformatted: String = text
+            .lines()
+            .map(|l| format!("  {l}   ; reformatted\n\n"))
+            .collect();
+        let k1 = inline(text.clone()).campaign_key().unwrap();
+        let k2 = inline(reformatted).campaign_key().unwrap();
+        assert_eq!(k1, k2, "formatting leaked into the campaign key");
+        // Same program text under a different entry invocation is a
+        // different campaign.
+        let mut other_args = inline(text);
+        if let WorkloadSel::Inline { args, .. } = &mut other_args.workload {
+            args.push(7);
+        }
+        assert_ne!(k1, other_args.campaign_key().unwrap());
     }
 }

@@ -30,11 +30,12 @@
 use crate::proto::{
     self, JobSpec, RejectReason, StatsSnapshot, MAX_FRAME_BYTES,
 };
+use carestore::{CampaignKey, LruCache, Store};
 use faultsim::{Campaign, CampaignConfig, CampaignReport, JobControl};
-use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex};
@@ -54,7 +55,20 @@ pub struct ServerConfig {
     pub max_queue: usize,
     /// Per-line frame cap; longer lines are rejected as oversized.
     pub max_frame_bytes: usize,
+    /// Prepared-campaign cache bound in entries (LRU eviction beyond it);
+    /// 0 = [`DEFAULT_CACHE_CAP`]. Each entry is a compiled module plus its
+    /// golden snapshot trellis, so the bound is what keeps a stream of
+    /// distinct inline jobs from growing the server without limit.
+    pub cache_cap: usize,
+    /// Content-addressed result store directory. `Some` routes every job
+    /// through [`carestore::Store::run_campaign`]: stored records are
+    /// reused, only the residual executes, and fresh records are appended
+    /// to the campaign's log. `None` (the default) runs jobs unbacked.
+    pub store_dir: Option<PathBuf>,
 }
+
+/// Default prepared-campaign cache bound when the config leaves it 0.
+pub const DEFAULT_CACHE_CAP: usize = 32;
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
@@ -63,6 +77,8 @@ impl Default for ServerConfig {
             budget_cap: 0,
             max_queue: 8,
             max_frame_bytes: MAX_FRAME_BYTES,
+            cache_cap: 0,
+            store_dir: None,
         }
     }
 }
@@ -81,6 +97,7 @@ struct Counters {
     inflight_budget: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
     records_streamed: AtomicU64,
 }
 
@@ -101,7 +118,8 @@ pub(crate) struct Srv {
     shutdown: AtomicBool,
     admission: Mutex<Admission>,
     cv: Condvar,
-    cache: Mutex<HashMap<String, Arc<Campaign>>>,
+    cache: Mutex<LruCache<String, Arc<Campaign>>>,
+    store: Option<Store>,
     stats: Counters,
     recorder: Recorder,
     next_job_id: AtomicU64,
@@ -109,25 +127,31 @@ pub(crate) struct Srv {
 }
 
 impl Srv {
-    pub(crate) fn new(cfg: &ServerConfig) -> Srv {
+    pub(crate) fn new(cfg: &ServerConfig) -> std::io::Result<Srv> {
         let budget_cap = if cfg.budget_cap == 0 {
             rayon::current_num_threads().max(1)
         } else {
             cfg.budget_cap
         };
-        Srv {
+        let cache_cap = if cfg.cache_cap == 0 { DEFAULT_CACHE_CAP } else { cfg.cache_cap };
+        let store = match &cfg.store_dir {
+            Some(dir) => Some(Store::open(dir)?),
+            None => None,
+        };
+        Ok(Srv {
             budget_cap,
             max_queue: cfg.max_queue,
             max_frame_bytes: cfg.max_frame_bytes,
             shutdown: AtomicBool::new(false),
             admission: Mutex::new(Admission::default()),
             cv: Condvar::new(),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(LruCache::new(cache_cap)),
+            store,
             stats: Counters::default(),
             recorder: Recorder::new(),
             next_job_id: AtomicU64::new(1),
             active_conns: AtomicUsize::new(0),
-        }
+        })
     }
 
     fn shutting_down(&self) -> bool {
@@ -192,6 +216,7 @@ impl Srv {
             budget_cap: self.budget_cap as u64,
             cache_hits: s.cache_hits.load(Ordering::Relaxed),
             cache_misses: s.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: s.cache_evictions.load(Ordering::Relaxed),
             records_streamed: s.records_streamed.load(Ordering::Relaxed),
         }
     }
@@ -221,7 +246,7 @@ impl CampaignServer {
     pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let srv = Arc::new(Srv::new(&cfg));
+        let srv = Arc::new(Srv::new(&cfg)?);
         let srv2 = srv.clone();
         let accept = std::thread::spawn(move || {
             for conn in listener.incoming() {
@@ -435,22 +460,23 @@ fn run_job(
     spec: JobSpec,
 ) -> Result<(), ()> {
     // Validation and cache probe first: a reject must not burn budget.
-    let key = spec.campaign_key();
-    let cached = srv.cache.lock().expect("cache lock").get(&key).cloned();
-    let workload = match cached {
-        Some(_) => {
-            srv.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-            srv.recorder.add("server.cache_hits", 1);
-            None
+    // The content-addressed key hashes the resolved module's canonical
+    // printing, so resolution (cheap: construction + parse, no compile)
+    // happens before the probe; two spellings of one program share a key.
+    let workload = match proto::resolve_workload(&spec.workload) {
+        Ok(w) => w,
+        Err(detail) => {
+            srv.reject(out, RejectReason::BadSpec, &detail);
+            return Ok(());
         }
-        None => match proto::resolve_workload(&spec.workload) {
-            Ok(w) => Some(w),
-            Err(detail) => {
-                srv.reject(out, RejectReason::BadSpec, &detail);
-                return Ok(());
-            }
-        },
     };
+    let ckey = proto::campaign_key_for(&workload, spec.opt);
+    let key = ckey.encode();
+    let cached = srv.cache.lock().expect("cache lock").get(&key).cloned();
+    if cached.is_some() {
+        srv.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        srv.recorder.add("server.cache_hits", 1);
+    }
     let budget = if spec.threads == 0 { srv.budget_cap } else { spec.threads.min(srv.budget_cap) };
     if let Err(reason) = srv.acquire_budget(budget) {
         srv.reject(out, reason, "admission refused");
@@ -473,7 +499,7 @@ fn run_job(
             let result = catch_unwind(AssertUnwindSafe(|| {
                 let campaign = match cached {
                     Some(c) => c,
-                    None => srv.prepare_campaign(&key, &spec, workload.expect("resolved on miss")),
+                    None => srv.prepare_campaign(&key, &spec, workload),
                 };
                 let cfg = CampaignConfig {
                     injections: spec.injections,
@@ -488,10 +514,10 @@ fn run_job(
                 };
                 if spec.telemetry {
                     let rec = Recorder::new();
-                    let report = campaign.run_job(&cfg, &rec, &ctl);
+                    let report = run_backed(&srv, &ckey, &campaign, &cfg, &rec, &ctl);
                     (report, Some(rec.drain().to_jsonl()))
                 } else {
-                    (campaign.run_job(&cfg, &NoTelemetry, &ctl), None)
+                    (run_backed(&srv, &ckey, &campaign, &cfg, &NoTelemetry, &ctl), None)
                 }
             }));
             let _ = tx.send(result.map_err(panic_message));
@@ -606,6 +632,34 @@ fn run_job(
     }
 }
 
+/// Run one job's campaign, through the content-addressed store when the
+/// server has one (warm records reused, only the residual executed, fresh
+/// records appended), directly otherwise. A store I/O failure degrades to
+/// a direct run — the job still completes, this run just isn't persisted.
+fn run_backed<H: Hooks>(
+    srv: &Srv,
+    key: &CampaignKey,
+    campaign: &Campaign,
+    cfg: &CampaignConfig,
+    hooks: &H,
+    ctl: &JobControl,
+) -> CampaignReport {
+    let Some(store) = &srv.store else {
+        return campaign.run_job(cfg, hooks, ctl);
+    };
+    match store.run_campaign(key, campaign, cfg, hooks, ctl) {
+        Ok(run) => {
+            srv.recorder.add("server.store_hits", run.stats.hits);
+            srv.recorder.add("server.store_misses", run.stats.misses);
+            run.report
+        }
+        Err(_) => {
+            srv.recorder.add("server.store_errors", 1);
+            campaign.run_job(cfg, hooks, ctl)
+        }
+    }
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         format!("worker panicked: {s}")
@@ -621,7 +675,9 @@ impl Srv {
     /// on the same key both prepare (identical, deterministic campaigns)
     /// and the first insert wins; the work the loser burned is bounded by
     /// one prepare. The prepare runs outside the cache lock so a slow
-    /// golden run never blocks other clients' cache probes.
+    /// golden run never blocks other clients' cache probes. Publishing may
+    /// evict the least-recently-used campaign (the cache is bounded);
+    /// evictions surface in the stats frame and `server.cache_evictions`.
     fn prepare_campaign(
         &self,
         key: &str,
@@ -633,7 +689,20 @@ impl Srv {
         let app = care::compile(&workload.module, spec.opt);
         let campaign = Arc::new(Campaign::prepare(&workload, app, vec![]));
         let mut map = self.cache.lock().expect("cache lock");
-        map.entry(key.to_string()).or_insert_with(|| campaign.clone()).clone()
+        let published = match map.get(key) {
+            Some(winner) => winner.clone(),
+            None => {
+                let before = map.evictions();
+                map.insert(key.to_string(), campaign.clone());
+                let evicted = map.evictions() - before;
+                if evicted > 0 {
+                    self.recorder.add("server.cache_evictions", evicted);
+                }
+                self.stats.cache_evictions.store(map.evictions(), Ordering::Relaxed);
+                campaign
+            }
+        };
+        published
     }
 }
 
@@ -820,5 +889,71 @@ mod tests {
         assert_eq!(report.counters.get("server.jobs_accepted"), Some(&2));
         assert_eq!(report.counters.get("server.jobs_completed"), Some(&2));
         handle.shutdown();
+    }
+
+    /// The acceptance property for the bounded cache: a stream of 1000
+    /// jobs with distinct campaign keys (as an adversarial client sending
+    /// ever-new inline programs would produce) never grows the cache past
+    /// its bound, and every eviction is counted in the stats frame.
+    #[test]
+    fn cache_stays_bounded_under_a_stream_of_distinct_jobs() {
+        let srv =
+            Srv::new(&ServerConfig { cache_cap: 16, ..ServerConfig::default() }).unwrap();
+        let spec = tiny_inline_spec();
+        let workload = proto::resolve_workload(&spec.workload).unwrap();
+        for i in 0..1000u32 {
+            // Distinct keys over one resolved workload: the cache keys on
+            // the string alone, and reusing the program keeps 1000
+            // prepares affordable.
+            srv.prepare_campaign(&format!("care1:{i:032x}:O1:e1"), &spec, workload.clone());
+            assert!(
+                srv.cache.lock().unwrap().len() <= 16,
+                "cache exceeded its bound at job {i}"
+            );
+        }
+        assert_eq!(srv.cache.lock().unwrap().len(), 16);
+        let snap = srv.snapshot();
+        assert_eq!(snap.cache_misses, 1000);
+        assert_eq!(snap.cache_evictions, 1000 - 16);
+        let report = srv.recorder.drain();
+        assert_eq!(report.counters.get("server.cache_evictions"), Some(&(1000 - 16)));
+    }
+
+    /// A store-backed server reuses stored records: the second identical
+    /// job executes zero residual injections (nothing is appended to the
+    /// log) and its report — records included — is byte-identical.
+    #[test]
+    fn store_backed_server_reuses_records_across_jobs() {
+        let dir =
+            std::env::temp_dir().join(format!("careserve-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut handle = CampaignServer::start(ServerConfig {
+            store_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback");
+        let spec = tiny_inline_spec();
+
+        let first = client::submit(handle.addr(), &spec).expect("first submit");
+        let logs: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(logs.len(), 1, "one campaign, one log");
+        let after_first = std::fs::read(&logs[0]).unwrap();
+        assert!(!after_first.is_empty());
+
+        let second = client::submit(handle.addr(), &spec).expect("second submit");
+        assert_eq!(
+            second.report, first.report,
+            "warm store re-run diverged from the cold run"
+        );
+        let after_second = std::fs::read(&logs[0]).unwrap();
+        assert_eq!(
+            after_second, after_first,
+            "warm re-run appended to the log: residual was not zero"
+        );
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,180 @@
+//! A stable, hand-rolled 128-bit content hash — the workspace stays
+//! dependency-free, and the hash is a *persistence contract*: its output
+//! for a given byte string must never change across releases, platforms
+//! or endianness (stored campaign keys outlive the process). The golden
+//! vectors pinned in the tests are that contract.
+//!
+//! Construction: two independent 64-bit lanes of an xxHash64-style mix
+//! (distinct odd multiplier schedules per lane seeded differently),
+//! length-fortified and avalanche-finalized. Non-cryptographic by design —
+//! the store keys trusted local artefacts, it does not defend against an
+//! adversary manufacturing collisions — but 128 bits keep accidental
+//! collision probability negligible at any realistic store size.
+
+const P1: u64 = 0x9e3779b185ebca87;
+const P2: u64 = 0xc2b2ae3d27d4eb4f;
+const P3: u64 = 0x165667b19e3779f9;
+const P4: u64 = 0x85ebca77c2b2ae63;
+const P5: u64 = 0x27d4eb2f165667c5;
+
+/// A 128-bit content hash, printed/parsed as 32 lowercase hex digits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ContentHash {
+    /// High 64 bits (lane seeded with `SEED_HI`).
+    pub hi: u64,
+    /// Low 64 bits (lane seeded with `SEED_LO`).
+    pub lo: u64,
+}
+
+const SEED_HI: u64 = 0xCA2E_5709_C0DE_0001;
+const SEED_LO: u64 = 0xCA2E_5709_C0DE_0002;
+
+impl ContentHash {
+    /// Hash a byte string. Deterministic in the bytes alone.
+    pub fn of(bytes: &[u8]) -> ContentHash {
+        ContentHash { hi: lane(SEED_HI, bytes), lo: lane(SEED_LO, bytes) }
+    }
+
+    /// 32 lowercase hex digits, high lane first.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Inverse of [`to_hex`](Self::to_hex); rejects anything that is not
+    /// exactly 32 hex digits.
+    pub fn from_hex(s: &str) -> Option<ContentHash> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(ContentHash { hi, lo })
+    }
+}
+
+impl std::fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// One 64-bit lane: 4-way striped accumulation over 32-byte blocks, then
+/// the tail bytes, then a length-aware avalanche.
+fn lane(seed: u64, bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(32);
+    let mut acc = if bytes.len() >= 32 {
+        let mut v1 = seed.wrapping_add(P1).wrapping_add(P2);
+        let mut v2 = seed.wrapping_add(P2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(P1);
+        for block in chunks.by_ref() {
+            v1 = round(v1, word(block, 0));
+            v2 = round(v2, word(block, 8));
+            v3 = round(v3, word(block, 16));
+            v4 = round(v4, word(block, 24));
+        }
+        let mut acc = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        for v in [v1, v2, v3, v4] {
+            acc = (acc ^ round(0, v)).wrapping_mul(P1).wrapping_add(P4);
+        }
+        acc
+    } else {
+        seed.wrapping_add(P5)
+    };
+    acc = acc.wrapping_add(bytes.len() as u64);
+    let mut tail = chunks.remainder();
+    while tail.len() >= 8 {
+        acc = (acc ^ round(0, word(tail, 0))).rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+        tail = &tail[8..];
+    }
+    if tail.len() >= 4 {
+        let w = u32::from_le_bytes(tail[..4].try_into().expect("4 bytes")) as u64;
+        acc = (acc ^ w.wrapping_mul(P1)).rotate_left(23).wrapping_mul(P2).wrapping_add(P3);
+        tail = &tail[4..];
+    }
+    for &b in tail {
+        acc = (acc ^ (b as u64).wrapping_mul(P5)).rotate_left(11).wrapping_mul(P1);
+    }
+    avalanche(acc)
+}
+
+/// Little-endian u64 at `offset` — byte-order pinned explicitly so the
+/// hash is identical on every platform.
+fn word(block: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(block[offset..offset + 8].try_into().expect("8 bytes"))
+}
+
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(P2)).rotate_left(31).wrapping_mul(P1)
+}
+
+fn avalanche(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(P2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P3);
+    h ^= h >> 32;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The persistence contract: these exact outputs must hold forever.
+    /// If this test fails, the hash changed and every stored campaign key
+    /// silently rotted — fix the hash, never the vectors.
+    #[test]
+    fn golden_vectors_are_pinned() {
+        let cases: [(&[u8], &str); 5] = [
+            (b"", "0bcdcaccaaddd682d4bdad9b104aabcf"),
+            (b"a", "86a5d9d2c26366e9ba39947af42c1ba1"),
+            (b"CARE: compiler-assisted recovery", "3733d68d7d8531ca66a583845f0f0b12"),
+            (
+                b"The quick brown fox jumps over the lazy dog, twice over the lazy dog.",
+                "4bc2c1b92a0eff3c3ba9b1c5c7847221",
+            ),
+            (&[0u8; 64], "5df406774e523863502a6206a73e2164"),
+        ];
+        for (input, want) in cases {
+            assert_eq!(ContentHash::of(input).to_hex(), want, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        for input in [&b""[..], b"x", b"hello world", &[7u8; 100]] {
+            let h = ContentHash::of(input);
+            assert_eq!(ContentHash::from_hex(&h.to_hex()), Some(h));
+        }
+        assert_eq!(ContentHash::from_hex(""), None);
+        assert_eq!(ContentHash::from_hex("zz27e366bb6e8db1da0853f22f9003ca"), None);
+        assert_eq!(ContentHash::from_hex("2e27e366bb6e8db1da0853f22f9003c"), None);
+    }
+
+    /// Every byte position matters: flipping any single byte of a block-
+    /// sized input changes both lanes.
+    #[test]
+    fn single_byte_changes_flip_both_lanes() {
+        let base: Vec<u8> = (0..100u8).collect();
+        let h0 = ContentHash::of(&base);
+        for i in [0usize, 1, 31, 32, 63, 64, 95, 96, 99] {
+            let mut mutated = base.clone();
+            mutated[i] ^= 1;
+            let h1 = ContentHash::of(&mutated);
+            assert_ne!(h0.hi, h1.hi, "hi lane blind to byte {i}");
+            assert_ne!(h0.lo, h1.lo, "lo lane blind to byte {i}");
+        }
+    }
+
+    /// Length is part of the hash (no extension/padding ambiguity).
+    #[test]
+    fn length_disambiguates() {
+        assert_ne!(ContentHash::of(&[0u8; 7]), ContentHash::of(&[0u8; 8]));
+        assert_ne!(ContentHash::of(&[0u8; 32]), ContentHash::of(&[0u8; 33]));
+    }
+}

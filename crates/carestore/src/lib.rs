@@ -1,0 +1,39 @@
+//! # carestore — content-addressed, append-only campaign-result storage
+//!
+//! A production campaign service re-runs mostly unchanged work. This
+//! crate makes every injection result addressable and persistent, so a
+//! re-run only executes the delta and a killed campaign resumes from its
+//! log:
+//!
+//! * [`hash`] — a stable, hand-rolled 128-bit content hash (no external
+//!   dependencies; golden-pinned so stored keys never rot);
+//! * [`key`] — campaign identity `(module_hash, opt, engine_version)`
+//!   where `module_hash` covers the **canonical TinyIR printing** plus
+//!   the golden-run invocation, and the canonical `care1:...` string
+//!   encoding that replaces careserve's old `Debug`-formatted text keys;
+//! * [`record`] — the `InjectionRecord` JSON codec shared with the
+//!   careserve wire protocol (one encoding, no drift);
+//! * [`log`] — the append-only JSONL record log with `run` / `record` /
+//!   `complete` lines, written incrementally and scanned on startup;
+//! * [`store`] — [`Store::run_campaign`], the resume/residual
+//!   orchestration around [`faultsim::Campaign::run_selected`], with
+//!   `store.*` telemetry counters;
+//! * [`lru`] — the capacity-bounded cache careserve uses for prepared
+//!   campaigns;
+//! * [`triage`] — the cross-run dedup/clustering pass over a whole store
+//!   by `(outcome kind, decline, fault site)`.
+
+pub mod hash;
+pub mod key;
+pub mod log;
+pub mod lru;
+pub mod record;
+pub mod store;
+pub mod triage;
+
+pub use hash::ContentHash;
+pub use key::{campaign_key, CampaignKey};
+pub use log::{run_signature, scan_log, LogScan, LogWriter, STORE_VERSION};
+pub use lru::LruCache;
+pub use store::{Store, StoreRun, StoreStats};
+pub use triage::{triage, TriageCluster};

@@ -1,0 +1,201 @@
+//! The store proper: a directory of per-campaign record logs, plus the
+//! resume/residual orchestration around [`faultsim::Campaign::run_selected`].
+//!
+//! [`Store::run_campaign`] is the drop-in persistent counterpart of
+//! [`faultsim::Campaign::run_job`]:
+//!
+//! 1. scan this campaign's log for records matching `(model, seed, cfg)`;
+//! 2. compute the **residual work list** — requested indexes that are
+//!    neither stored nor known skips of a completed shorter run;
+//! 3. execute only the residual (the trellis scheduler samples only those
+//!    indexes, so its cursor-shard windows shrink to the prefixes the
+//!    residual actually needs), appending each record to the log the
+//!    moment it is classified;
+//! 4. merge stored + fresh records in index order into a canonical report.
+//!
+//! ## Report identity
+//!
+//! Store-backed reports use **attributed** step accounting — they are
+//! `CampaignReport::from_records` over the merged records, exactly the
+//! per-injection scheduler's semantics — because "steps the run actually
+//! executed" is a property of how warm the store was, not of the
+//! campaign. The payoff is the byte-identity contract: a warm re-run
+//! (zero residual), a cold run through the store, and a kill + resume all
+//! produce the same records and therefore the *same report, byte for
+//! byte*. The records themselves are bit-identical to plain
+//! [`faultsim::Campaign::run`] under every scheduler/engine/thread
+//! combination (pinned by faultsim's own tests).
+
+use crate::key::CampaignKey;
+use crate::log::{run_signature, scan_log, LogWriter};
+use crate::record::{push_field_u64, push_record_fields};
+use faultsim::{
+    Campaign, CampaignConfig, CampaignReport, InjectionRecord, JobControl, RecordSink,
+};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use telemetry::Hooks;
+
+/// Counters for one store-backed run, also mirrored into `store.*`
+/// telemetry. All accumulation saturates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Records reused from the log (`store.hits`).
+    pub hits: u64,
+    /// Indexes executed fresh — the residual (`store.misses`).
+    pub misses: u64,
+    /// Indexes below a completed run's bound with no record: the sampled
+    /// point never fired, so there is nothing to run (`store.known_skips`).
+    pub known_skips: u64,
+    /// Records appended to the log by this run (`store.appended`).
+    pub appended: u64,
+    /// Unparseable log lines skipped while scanning (`store.corrupt_lines`).
+    pub corrupt_lines: u64,
+    /// 1 if any log append failed (`store.write_errors`); the run itself
+    /// still completes — persistence degrades, correctness does not.
+    pub write_errors: u64,
+}
+
+impl StoreStats {
+    /// Residual fraction: misses / requested indexes (0 on empty input).
+    pub fn residual_fraction(&self, requested: usize) -> f64 {
+        if requested == 0 {
+            0.0
+        } else {
+            self.misses as f64 / requested as f64
+        }
+    }
+}
+
+/// A store-backed campaign result: the canonical report plus what the
+/// store did to produce it.
+#[derive(Debug)]
+pub struct StoreRun {
+    /// Canonical (attributed-accounting) report over stored + fresh records.
+    pub report: CampaignReport,
+    /// Hit/miss/append accounting for this run.
+    pub stats: StoreStats,
+}
+
+/// The sink that tees every fresh record into the log *and* an in-memory
+/// map for the merge, from concurrent pool workers.
+struct LogSink<'a> {
+    writer: &'a LogWriter,
+    fresh: Mutex<BTreeMap<usize, InjectionRecord>>,
+}
+
+impl RecordSink for LogSink<'_> {
+    fn emit(&self, index: usize, record: &InjectionRecord) {
+        let mut line = String::from("{\"kind\":\"record\"");
+        push_field_u64(&mut line, "index", index as u64);
+        push_record_fields(&mut line, record);
+        line.push('}');
+        self.writer.append_line(&line);
+        self.fresh.lock().expect("sink poisoned").insert(index, record.clone());
+    }
+}
+
+/// A content-addressed store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Open (creating the directory if needed).
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Store> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Store { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the record log for one campaign key.
+    pub fn log_path(&self, key: &CampaignKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Run `cfg` against `campaign` through the store: load matching
+    /// records, execute only the residual (appending incrementally, so a
+    /// kill loses at most in-flight work), and merge into the canonical
+    /// report. See the module docs for the identity contract.
+    pub fn run_campaign<H: Hooks>(
+        &self,
+        key: &CampaignKey,
+        campaign: &Campaign,
+        cfg: &CampaignConfig,
+        hooks: &H,
+        ctl: &JobControl,
+    ) -> std::io::Result<StoreRun> {
+        let path = self.log_path(key);
+        let sig = run_signature(cfg);
+        let scan = scan_log(&path, cfg.model, cfg.seed, &sig)?;
+        let mut stats = StoreStats { corrupt_lines: scan.corrupt, ..StoreStats::default() };
+
+        let mut merged: BTreeMap<usize, InjectionRecord> = BTreeMap::new();
+        let mut residual: Vec<usize> = Vec::new();
+        for i in 0..cfg.injections {
+            if let Some(rec) = scan.records.get(&i) {
+                merged.insert(i, rec.clone());
+                stats.hits += 1;
+            } else if i < scan.covered {
+                stats.known_skips += 1;
+            } else {
+                residual.push(i);
+            }
+        }
+        stats.misses = residual.len() as u64;
+
+        let mut cancelled = ctl.is_cancelled();
+        if !residual.is_empty() && !cancelled {
+            let writer = LogWriter::open_append(&path)?;
+            writer.run_header(cfg, &key.encode());
+            let sink = LogSink { writer: &writer, fresh: Mutex::new(BTreeMap::new()) };
+            campaign.run_selected(cfg, &residual, hooks, ctl, &sink);
+            cancelled = ctl.is_cancelled();
+            if !cancelled {
+                writer.complete(cfg);
+            }
+            let fresh = sink.fresh.into_inner().expect("sink poisoned");
+            stats.appended = fresh.len() as u64;
+            stats.write_errors = writer.failed() as u64;
+            merged.extend(fresh);
+        }
+
+        let mut report =
+            CampaignReport::from_records(merged.into_values().collect::<Vec<_>>());
+        report.cancelled = cancelled;
+        if !cfg.keep_records {
+            report.records = Vec::new();
+        }
+        if H::ENABLED {
+            hooks.add("store.hits", stats.hits);
+            hooks.add("store.misses", stats.misses);
+            hooks.add("store.known_skips", stats.known_skips);
+            hooks.add("store.appended", stats.appended);
+            hooks.add("store.corrupt_lines", stats.corrupt_lines);
+            hooks.add("store.write_errors", stats.write_errors);
+            hooks.add("store.runs", 1);
+        }
+        Ok(StoreRun { report, stats })
+    }
+
+    /// Every record-log file currently in the store (for triage sweeps).
+    pub fn log_files(&self) -> std::io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "jsonl") {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+

@@ -112,9 +112,11 @@ pub struct StepSplit {
 }
 
 impl StepSplit {
-    /// Total attributed instructions.
+    /// Total attributed instructions. Saturating: splits can come back
+    /// from a persisted record log, where nothing bounds the components'
+    /// sum (mirrors `telemetry::Histogram`'s saturating `sum`).
     pub fn total(&self) -> u64 {
-        self.prefix + self.suffix + self.care
+        self.prefix.saturating_add(self.suffix).saturating_add(self.care)
     }
 }
 
@@ -168,6 +170,25 @@ impl std::str::FromStr for Scheduler {
             other => Err(format!("unknown scheduler {other:?} (trellis|per-injection)")),
         }
     }
+}
+
+/// Observer of classified records as they are produced, keyed by injection
+/// index — the hook a persistent result store uses to append records
+/// incrementally (so a killed campaign can resume from whatever reached
+/// the log). Called from pool workers concurrently, in completion order,
+/// exactly once per produced record; implementations must be internally
+/// synchronized. A sink never influences the records: a campaign run with
+/// any sink is bit-identical to one run with [`NoSink`].
+pub trait RecordSink: Sync {
+    /// Observe the record produced for injection `index`.
+    fn emit(&self, index: usize, record: &InjectionRecord);
+}
+
+/// The do-nothing sink used by the non-persistent entry points.
+pub struct NoSink;
+
+impl RecordSink for NoSink {
+    fn emit(&self, _index: usize, _record: &InjectionRecord) {}
 }
 
 /// Cooperative cancellation plus coarse progress for service-shaped runs.
@@ -643,18 +664,22 @@ impl Campaign {
     fn run_per_injection<H: Hooks>(
         &self,
         cfg: &CampaignConfig,
+        indices: &[usize],
         engine: &dyn ExecutionEngine,
         hooks: &H,
         ctl: &JobControl,
+        sink: &dyn RecordSink,
     ) -> CampaignReport {
-        let records: Vec<InjectionRecord> = (0..cfg.injections)
+        let indices: Vec<usize> = indices.to_vec();
+        let records: Vec<InjectionRecord> = indices
             .into_par_iter()
             .filter_map(|i| {
                 if ctl.is_cancelled() {
                     return None;
                 }
                 let rec = self.run_one_with_hooks(cfg, i, engine, hooks);
-                if rec.is_some() {
+                if let Some(r) = &rec {
+                    sink.emit(i, r);
                     ctl.note_classified();
                 }
                 rec
@@ -669,17 +694,23 @@ impl Campaign {
     fn run_trellis<H: Hooks>(
         &self,
         cfg: &CampaignConfig,
+        indices: &[usize],
         engine: &dyn ExecutionEngine,
         hooks: &H,
         ctl: &JobControl,
+        sink: &dyn RecordSink,
     ) -> CampaignReport {
         // Phase 1 — sampling. Same per-index RNG stream as `run_one`, so
-        // every downstream bit-flip draw is identical.
-        let samples: Vec<(InjectionPoint, SmallRng)> = timed(hooks, "trellis.sample_ns", || {
-            (0..cfg.injections)
-                .filter_map(|i| self.sample_point(cfg, i))
-                .collect()
-        });
+        // every downstream bit-flip draw is identical — for any index
+        // subset: a residual run samples exactly the points a full run
+        // would have sampled at those indexes.
+        let samples: Vec<(usize, InjectionPoint, SmallRng)> =
+            timed(hooks, "trellis.sample_ns", || {
+                indices
+                    .iter()
+                    .filter_map(|&i| self.sample_point(cfg, i).map(|(p, rng)| (i, p, rng)))
+                    .collect()
+            });
 
         // Phase 2 — shard planning: partition the *distinct* points
         // (injection indexes that sampled the same `(I, n)` share one
@@ -730,15 +761,15 @@ impl Campaign {
         // fork at all.
         let trellis_snapshots = snapshots.len();
         let mut uses: Vec<usize> = vec![0; snapshots.len()];
-        for (point, _) in &samples {
+        for (_, point, _) in &samples {
             if let Some(&slot) = snapshot_of.get(point) {
                 uses[slot] += 1;
             }
         }
         let mut slots: Vec<Option<Process>> = snapshots.into_iter().map(Some).collect();
-        let jobs: Vec<(InjectionPoint, SmallRng, Option<Process>)> = samples
+        let jobs: Vec<(usize, InjectionPoint, SmallRng, Option<Process>)> = samples
             .into_iter()
-            .map(|(point, rng)| {
+            .map(|(index, point, rng)| {
                 let p = snapshot_of.get(&point).and_then(|&slot| {
                     uses[slot] -= 1;
                     if uses[slot] == 0 {
@@ -747,17 +778,18 @@ impl Campaign {
                         slots[slot].clone()
                     }
                 });
-                (point, rng, p)
+                (index, point, rng, p)
             })
             .collect();
         let records: Vec<InjectionRecord> = timed(hooks, "trellis.suffixes_ns", || {
             jobs.into_par_iter()
-                .filter_map(|(point, rng, p)| {
+                .filter_map(|(index, point, rng, p)| {
                     if ctl.is_cancelled() {
                         return None;
                     }
                     let rec = self.run_suffix(cfg, point, &rng, p?, engine, hooks);
-                    if rec.is_some() {
+                    if let Some(r) = &rec {
+                        sink.emit(index, r);
                         ctl.note_classified();
                     }
                     rec
@@ -772,7 +804,9 @@ impl Campaign {
         report.trellis_snapshots = trellis_snapshots;
         report.cursor_shards = cursor_shards;
         report.steps_prefix = cursor_steps;
-        report.simulated_steps = cursor_steps + report.steps_suffix + report.steps_care;
+        report.simulated_steps = cursor_steps
+            .saturating_add(report.steps_suffix)
+            .saturating_add(report.steps_care);
         if H::ENABLED {
             hooks.add("trellis.snapshots", trellis_snapshots as u64);
             hooks.add("trellis.cursor_steps", cursor_steps);
@@ -794,7 +828,7 @@ impl Campaign {
     fn plan_cursor_shards(
         &self,
         cfg: &CampaignConfig,
-        samples: &[(InjectionPoint, SmallRng)],
+        samples: &[(usize, InjectionPoint, SmallRng)],
     ) -> Vec<CursorShard> {
         let k = cfg.cursor_shards.unwrap_or_else(rayon::current_num_threads).max(1);
         let mut shards =
@@ -815,7 +849,7 @@ impl Campaign {
             }
         }
         let mut seen: std::collections::HashSet<InjectionPoint> = std::collections::HashSet::new();
-        for (point, _) in samples {
+        for (_, point, _) in samples {
             if !seen.insert(*point) {
                 continue;
             }
@@ -948,6 +982,33 @@ impl Campaign {
         hooks: &H,
         ctl: &JobControl,
     ) -> CampaignReport {
+        let all: Vec<usize> = (0..cfg.injections).collect();
+        self.run_selected(cfg, &all, hooks, ctl, &NoSink)
+    }
+
+    /// Run only the listed injection indexes — the residual-work entry
+    /// point a persistent result store uses after loading already-known
+    /// records from its log. Per-index determinism (every index's RNG
+    /// stream is seeded from `(cfg.seed, index)` alone) means the records
+    /// produced for a subset are bit-identical to the same indexes of a
+    /// full run, under either scheduler: the trellis samples only the
+    /// subset's points and plans its cursor shards from those, so a
+    /// residual run also *executes* only the prefix windows it needs.
+    ///
+    /// `indices` should be strictly increasing (records come back in that
+    /// order, matching a full run's element order) and each `< cfg.injections`.
+    /// Every produced record is also pushed through `sink` with its index,
+    /// from pool workers, as soon as it is classified — see [`RecordSink`].
+    /// `run_job` is exactly `run_selected` over `0..cfg.injections` with
+    /// [`NoSink`].
+    pub fn run_selected<H: Hooks>(
+        &self,
+        cfg: &CampaignConfig,
+        indices: &[usize],
+        hooks: &H,
+        ctl: &JobControl,
+        sink: &dyn RecordSink,
+    ) -> CampaignReport {
         let compiled = if cfg.engine == EngineKind::Compiled {
             let cache = simx::TranslationCache::global();
             let (h0, m0) = (cache.hits(), cache.misses());
@@ -971,8 +1032,10 @@ impl Campaign {
         let engine = engine_ref(&compiled);
         let pool0 = H::ENABLED.then(rayon::pool_stats);
         let mut report = match cfg.scheduler {
-            Scheduler::Trellis => self.run_trellis(cfg, engine, hooks, ctl),
-            Scheduler::PerInjection => self.run_per_injection(cfg, engine, hooks, ctl),
+            Scheduler::Trellis => self.run_trellis(cfg, indices, engine, hooks, ctl, sink),
+            Scheduler::PerInjection => {
+                self.run_per_injection(cfg, indices, engine, hooks, ctl, sink)
+            }
         };
         report.cancelled = ctl.is_cancelled();
         if let Some(p0) = pool0 {
@@ -985,7 +1048,7 @@ impl Campaign {
             hooks.add("pool.workers", p1.workers as u64);
         }
         if H::ENABLED {
-            hooks.add("campaign.injections", cfg.injections as u64);
+            hooks.add("campaign.injections", indices.len() as u64);
             hooks.add("campaign.classified", report.total() as u64);
             hooks.add("steps.prefix", report.steps_prefix);
             hooks.add("steps.suffix", report.steps_suffix);
@@ -1156,16 +1219,20 @@ impl CampaignReport {
                     }
                 }
             }
-            r.simulated_steps += rec.sim_steps;
-            r.steps_prefix += rec.split.prefix;
-            r.steps_suffix += rec.split.suffix;
-            r.steps_care += rec.split.care;
+            // Saturating, not wrapping: records merged out of a persisted
+            // store log are not bounded by one run's fuel budget, so the
+            // step sums can exceed u64 in aggregate (mirrors the
+            // `Histogram::sum` saturation pinned in crates/telemetry).
+            r.simulated_steps = r.simulated_steps.saturating_add(rec.sim_steps);
+            r.steps_prefix = r.steps_prefix.saturating_add(rec.split.prefix);
+            r.steps_suffix = r.steps_suffix.saturating_add(rec.split.suffix);
+            r.steps_care = r.steps_care.saturating_add(rec.split.care);
             if let Some(c) = &rec.care {
                 r.care_evaluated += 1;
                 if c.covered {
                     r.care_covered += 1;
                     r.recovery_times_ms.push(c.recovery_ms);
-                    r.total_recoveries += c.recoveries;
+                    r.total_recoveries = r.total_recoveries.saturating_add(c.recoveries);
                 } else if let Some(d) = c.decline {
                     *r.declines.entry(d).or_default() += 1;
                 } else if c.recoveries > 0 {

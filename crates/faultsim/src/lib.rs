@@ -18,8 +18,8 @@ pub mod campaign;
 pub mod injector;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignReport, CareResult, InjectionRecord, JobControl, Outcome,
-    Scheduler, Signal, StepSplit,
+    Campaign, CampaignConfig, CampaignReport, CareResult, InjectionRecord, JobControl, NoSink,
+    Outcome, RecordSink, Scheduler, Signal, StepSplit,
 };
 pub use injector::{FaultModel, InjectedInto, InjectionPoint};
 pub use simx::EngineKind;

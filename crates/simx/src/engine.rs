@@ -52,6 +52,15 @@ use tinyir::interp::{eval_bin, eval_cast, eval_fcmp, eval_icmp, float_of_bits, s
 use tinyir::mem::{MemFault, Memory, PagedMemory};
 use tinyir::{FuncId, Intrinsic};
 
+/// Version of the engines' *observable record semantics*: what a
+/// fault-injection campaign's [`InjectionRecord`](../faultsim) depends on
+/// through execution (step accounting, trap classification, fuel
+/// semantics, RNG-visible behaviour). Persistent result stores fold this
+/// into their campaign keys, so bumping it invalidates every stored record
+/// at once. Bump on any change that can alter a record; engine *kind* is
+/// deliberately not part of it — both backends are pinned bit-identical.
+pub const ENGINE_VERSION: u32 = 1;
+
 /// Which backend a campaign (or CLI) selects.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum EngineKind {

@@ -29,7 +29,9 @@ pub mod translate;
 pub use codegen::compile_module;
 pub use disasm::{decode, disassemble_function, disassemble_module, format_inst, Decoded};
 pub use cpu::{BreakSet, DestRef, Frame, Process, Profile, RunExit, Trap, TrapKind};
-pub use engine::{advance_to_step, CompiledEngine, EngineKind, ExecutionEngine, InterpEngine};
+pub use engine::{
+    advance_to_step, CompiledEngine, EngineKind, ExecutionEngine, InterpEngine, ENGINE_VERSION,
+};
 pub use translate::{TranslateStats, TranslationCache};
 pub use debug::{DebugData, DieRequest, LocEntry, VarDie, VarPlace};
 pub use image::{LoadedModule, MachineFunction, MachineModule, ModuleId, ProcessImage};

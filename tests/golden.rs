@@ -202,10 +202,11 @@ fn compiled_engine_records_match_interpreter_on_all_workloads() {
 /// version (bumped in `bench::BENCH_SCHEMA_VERSION` whenever the shape
 /// changes), the telemetry sections the v2 schema introduced and the v4
 /// thread sweep (per-row `threads`, pool counters and the `scaling`
-/// section), plus the v5 `service` section. Regenerate with `cargo run
-/// --release -p bench --bin repro -- bench-json --threads 1,4,16` followed
-/// by `cargo run --release -p bench --bin repro -- submit --bench` after an
-/// intentional schema change.
+/// section), plus the v5 `service` section and the v6 `store` section
+/// (warm-vs-cold content-addressed store measurement). Regenerate with
+/// `cargo run --release -p bench --bin repro -- bench-json --threads
+/// 1,4,16` followed by `cargo run --release -p bench --bin repro -- submit
+/// --bench` after an intentional schema change.
 #[test]
 fn committed_bench_json_matches_schema_version() {
     let text = std::fs::read_to_string(concat!(
@@ -330,6 +331,41 @@ fn committed_bench_json_matches_schema_version() {
     for key in ["queue_depth", "job_ms"] {
         assert!(service.get(key).is_some(), "service section missing {key:?}");
     }
+    // v6: a `store` section — one coverage campaign run cold through a
+    // fresh content-addressed store and again warm. The cold run executes
+    // every injection (residual fraction 1), the warm run executes none
+    // (0 misses), and the two reports were asserted identical at
+    // generation time.
+    let st = doc.get("store").expect("v6 artefact carries a store section");
+    assert!(st.get("workload").and_then(|v| v.as_str()).is_some(), "store.workload");
+    let inj = st.get("injections").and_then(|v| v.as_f64()).expect("store.injections");
+    assert!(inj > 0.0, "store section measured no injections");
+    for (run, want_residual) in [("cold", 1.0), ("warm", 0.0)] {
+        let r = st.get(run).unwrap_or_else(|| panic!("store section missing {run:?}"));
+        for key in ["wall_s", "hits", "misses", "known_skips", "residual_fraction"] {
+            let v = r.get(key).and_then(|v| v.as_f64());
+            assert!(v.is_some_and(|v| v >= 0.0), "store.{run}.{key} invalid: {v:?}");
+        }
+        assert_eq!(
+            r.get("residual_fraction").and_then(|v| v.as_f64()),
+            Some(want_residual),
+            "store.{run} residual fraction"
+        );
+    }
+    assert_eq!(
+        st.get("warm").and_then(|w| w.get("misses")).and_then(|v| v.as_f64()),
+        Some(0.0),
+        "warm store run must execute no residual injections"
+    );
+    assert!(
+        st.get("warm_speedup").and_then(|v| v.as_f64()).expect("store.warm_speedup") > 0.0,
+        "warm speedup out of range"
+    );
+    assert_eq!(
+        st.get("reports_identical"),
+        Some(&telemetry::Json::Bool(true)),
+        "warm report diverged from cold at generation time"
+    );
 }
 
 /// Telemetry must be a pure observer: running the same fixed-seed campaign
